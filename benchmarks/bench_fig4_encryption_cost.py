@@ -1,0 +1,142 @@
+"""Figure 4: (a) encryption cost vs. file-write cost by data size, and
+(b) the per-WAL-write latency split with and without encryption.
+
+Paper claim 4a: encrypting a buffer is roughly an order of magnitude
+cheaper than writing the same bytes to a file, but encryption
+*initialization* cannot be amortized across calls the way an open file
+handle can.  Claim 4b: for small KV-pairs, per-record encryption is a
+significant fraction of the WAL write; for large batches it disappears.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, run_once
+
+from repro.crypto.cipher import create_cipher, generate_key, generate_nonce
+from repro.env.local import LocalEnv
+from repro.env.mem import MemEnv
+from repro.lsm.filecrypto import FileCrypto, NULL_CRYPTO
+from repro.lsm.wal import WALWriter
+from repro.crypto.cipher import scheme_id
+
+_SIZES = [64, 256, 1024, 4096, 65536, 1024 * 1024]
+_SCHEME = "shake-ctr"
+
+
+def _time_per_call(fn, min_calls=30, min_time=0.05) -> float:
+    start = time.perf_counter()
+    calls = 0
+    while calls < min_calls or time.perf_counter() - start < min_time:
+        fn()
+        calls += 1
+    return (time.perf_counter() - start) / calls
+
+
+def _fig4a(tmp_dir: str):
+    key, nonce = generate_key(_SCHEME), generate_nonce(_SCHEME)
+    env = LocalEnv()
+    rows = []
+    for size in _SIZES:
+        data = b"\xab" * size
+
+        def encrypt_fresh_context():
+            create_cipher(_SCHEME, key, nonce).xor_at(data, 0)
+
+        context = create_cipher(_SCHEME, key, nonce)
+
+        def encrypt_reused_context():
+            context.xor_at(data, 0)
+
+        path = f"{tmp_dir}/fig4a-{size}.bin"
+
+        def file_write():
+            with env.new_writable_file(path) as handle:
+                handle.append(data)
+
+        rows.append(
+            (
+                size,
+                _time_per_call(encrypt_fresh_context) * 1e6,
+                _time_per_call(encrypt_reused_context) * 1e6,
+                _time_per_call(file_write) * 1e6,
+            )
+        )
+    return rows
+
+
+def _fig4b():
+    """Per-WAL-write latency: plaintext vs. encrypted, small vs. large."""
+    rows = []
+    for value_size in (100, 4096, 65536):
+        payload = b"\xcd" * value_size
+        for label, crypto in (
+            ("plain", NULL_CRYPTO),
+            (
+                "encrypted",
+                FileCrypto(
+                    scheme_id(_SCHEME),
+                    "dek-fig4",
+                    generate_key(_SCHEME),
+                    generate_nonce(_SCHEME),
+                ),
+            ),
+        ):
+            writer = WALWriter(MemEnv(), "/wal-fig4.log", crypto)
+            cost = _time_per_call(lambda: writer.add_record(payload))
+            rows.append((value_size, label, cost * 1e6))
+    return rows
+
+
+def test_fig4_encryption_vs_file_write(benchmark, tmp_path):
+    rows_a = run_once(benchmark, lambda: _fig4a(str(tmp_path)))
+    lines = [
+        "== Figure 4a: encryption vs file write cost (us/call) ==",
+        f"{'size':>9s} {'enc(fresh ctx)':>15s} {'enc(reused ctx)':>16s} {'file write':>11s}",
+    ]
+    for size, fresh, reused, write in rows_a:
+        lines.append(f"{size:9d} {fresh:15.2f} {reused:16.2f} {write:11.2f}")
+    emit("fig4a_encryption_cost", "\n".join(lines))
+
+    # Shape: where initialization/syscall overhead dominates (<= 4 KiB),
+    # encrypting a buffer is much cheaper than writing it to a file.  (The
+    # paper's 9x gap at all sizes reflects AES-NI vs. an NVMe SSD; our
+    # SHAKE keystream crosses over between 4 KiB and 64 KiB -- recorded in
+    # EXPERIMENTS.md as an expected substitution artifact.)
+    for size, fresh, __, write in rows_a:
+        if size <= 4096:
+            assert fresh < write, f"encryption slower than file write at {size}B"
+    # Initialization cannot be amortized across calls: per-byte cost at 64B
+    # is orders of magnitude above per-byte cost at 64 KiB.
+    per_byte_small = rows_a[0][1] / 64
+    per_byte_large = rows_a[4][1] / 65536
+    assert per_byte_small > 5 * per_byte_large
+
+
+def test_fig4b_wal_write_latency_split(benchmark):
+    rows = run_once(benchmark, _fig4b)
+    lines = [
+        "== Figure 4b: per-WAL-write latency (us) ==",
+        f"{'value size':>10s} {'mode':>10s} {'us/write':>10s}",
+    ]
+    by_key = {}
+    for value_size, label, cost in rows:
+        lines.append(f"{value_size:10d} {label:>10s} {cost:10.2f}")
+        by_key[(value_size, label)] = cost
+    emit("fig4b_wal_latency", "\n".join(lines))
+
+    # Paper's Figure 4b claim, adapted to a software cipher: encryption
+    # overhead per WAL write is pronounced for small KV-pairs because it is
+    # dominated by the fixed per-call initialization, which amortizes away
+    # as writes grow.  (With AES-NI the *whole* overhead fades; our SHAKE
+    # keystream keeps a real per-byte cost -- noted in EXPERIMENTS.md.)
+    small_ratio = by_key[(100, "encrypted")] / by_key[(100, "plain")]
+    assert small_ratio > 1.5
+    small_overhead_per_byte = (
+        by_key[(100, "encrypted")] - by_key[(100, "plain")]
+    ) / 100
+    large_overhead_per_byte = (
+        by_key[(65536, "encrypted")] - by_key[(65536, "plain")]
+    ) / 65536
+    assert small_overhead_per_byte > 2 * large_overhead_per_byte

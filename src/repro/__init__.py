@@ -1,0 +1,46 @@
+"""SHIELD reproduction: encrypted LSM-KVS from monolithic to disaggregated storage.
+
+Public API re-exports the pieces a downstream user needs:
+
+- :class:`repro.lsm.DB` and :class:`repro.lsm.Options` -- the LSM-KVS engine.
+- :class:`repro.encfs.EncryptedEnv` -- the instance-level (EncFS) design.
+- :class:`repro.shield.ShieldOptions` / :func:`repro.shield.open_shield_db` --
+  the SHIELD design (per-file DEKs, rotation, WAL buffer, DS sharing).
+- :class:`repro.keys` -- DEK model, KDS implementations, secure DEK cache.
+- :mod:`repro.dist` -- simulated disaggregated-storage deployments.
+
+Submodules are imported lazily (PEP 562) so that low-level packages such as
+``repro.crypto`` can be used without pulling in the whole engine.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "DB": ("repro.lsm", "DB"),
+    "Options": ("repro.lsm", "Options"),
+    "WriteBatch": ("repro.lsm", "WriteBatch"),
+    "EncryptedEnv": ("repro.encfs", "EncryptedEnv"),
+    "ShieldOptions": ("repro.shield", "ShieldOptions"),
+    "open_shield_db": ("repro.shield", "open_shield_db"),
+    "DEK": ("repro.keys", "DEK"),
+    "InMemoryKDS": ("repro.keys", "InMemoryKDS"),
+    "SimulatedKDS": ("repro.keys", "SimulatedKDS"),
+    "SecureDEKCache": ("repro.keys", "SecureDEKCache"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

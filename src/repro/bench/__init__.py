@@ -1,0 +1,68 @@
+"""Benchmark substrate: workload generators, system factories, harness.
+
+Mirrors the paper's tooling (Section 6.1):
+
+- :mod:`repro.bench.keygen` / :mod:`repro.bench.valuegen` -- db_bench-style
+  key/value generation plus the YCSB zipfian/latest distributions.
+- :mod:`repro.bench.workloads` -- fillrandom, fillseq, readrandom, and the
+  mixed read/write-ratio micro benchmarks.
+- :mod:`repro.bench.mixgraph` -- the Facebook Mixgraph macro workload.
+- :mod:`repro.bench.ycsb` -- YCSB core workloads A-F.
+- :mod:`repro.bench.systems` -- the four systems under test: unencrypted
+  baseline, EncFS, SHIELD, each optionally with the WAL buffer.
+- :mod:`repro.bench.harness` -- run/measure/report; emits the rows each
+  table and figure of the paper reports.
+"""
+
+from repro.bench.keygen import (
+    KeyGenerator,
+    LatestGenerator,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianGenerator,
+    ZipfianKeys,
+    format_key,
+)
+from repro.bench.valuegen import ValueGenerator
+from repro.bench.workloads import (
+    WorkloadSpec,
+    fill_random,
+    fill_seq,
+    read_random,
+    read_while_writing,
+    read_write_mix,
+)
+from repro.bench.mixgraph import MixgraphSpec, run_mixgraph
+from repro.bench.ycsb import YCSBSpec, load_ycsb, run_ycsb, YCSB_WORKLOADS
+from repro.bench.systems import SystemSpec, SYSTEMS, make_system
+from repro.bench.harness import RunResult, measure_ops, format_table, relative_overhead
+
+__all__ = [
+    "KeyGenerator",
+    "LatestGenerator",
+    "SequentialKeys",
+    "UniformKeys",
+    "ZipfianGenerator",
+    "ZipfianKeys",
+    "format_key",
+    "ValueGenerator",
+    "WorkloadSpec",
+    "fill_random",
+    "fill_seq",
+    "read_random",
+    "read_while_writing",
+    "read_write_mix",
+    "MixgraphSpec",
+    "run_mixgraph",
+    "YCSBSpec",
+    "load_ycsb",
+    "run_ycsb",
+    "YCSB_WORKLOADS",
+    "SystemSpec",
+    "SYSTEMS",
+    "make_system",
+    "RunResult",
+    "measure_ops",
+    "format_table",
+    "relative_overhead",
+]

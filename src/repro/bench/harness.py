@@ -1,0 +1,137 @@
+"""Measurement and reporting for the benchmark suite.
+
+Every experiment produces :class:`RunResult` rows; ``format_table`` renders
+them the way the paper's tables/figures report: absolute throughput plus
+the percentage overhead relative to the unencrypted baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.util.stats import percentile_exact
+
+
+@dataclass
+class RunResult:
+    """One measured workload execution."""
+
+    name: str
+    ops: int
+    elapsed_s: float
+    latencies_s: list[float] = field(default_factory=list, repr=False)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def p99_us(self) -> float:
+        return percentile_exact(self.latencies_s, 99) * 1e6
+
+    @property
+    def p50_us(self) -> float:
+        return percentile_exact(self.latencies_s, 50) * 1e6
+
+    @property
+    def mean_us(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s) * 1e6
+
+
+def measure_ops(
+    name: str,
+    operations: Iterable[Callable[[], None]],
+    record_latencies: bool = True,
+) -> RunResult:
+    """Execute callables back-to-back, timing each and the whole run."""
+    latencies: list[float] = []
+    count = 0
+    start = time.perf_counter()
+    if record_latencies:
+        for operation in operations:
+            op_start = time.perf_counter()
+            operation()
+            latencies.append(time.perf_counter() - op_start)
+            count += 1
+    else:
+        for operation in operations:
+            operation()
+            count += 1
+    elapsed = time.perf_counter() - start
+    return RunResult(name=name, ops=count, elapsed_s=elapsed, latencies_s=latencies)
+
+
+def relative_overhead(baseline: RunResult, candidate: RunResult) -> float:
+    """Throughput regression vs. baseline, in percent (positive = slower)."""
+    if baseline.throughput <= 0:
+        return 0.0
+    return (1.0 - candidate.throughput / baseline.throughput) * 100.0
+
+
+def ascii_bar_chart(
+    title: str,
+    results: list[RunResult],
+    width: int = 48,
+) -> str:
+    """Render throughput as a horizontal ASCII bar chart (figures in text)."""
+    if not results:
+        return f"== {title} == (no data)"
+    peak = max(result.throughput for result in results) or 1.0
+    name_width = max(len(result.name) for result in results)
+    lines = [f"== {title} (ops/sec) =="]
+    for result in results:
+        bar = "#" * max(1, int(result.throughput / peak * width))
+        lines.append(
+            f"{result.name.ljust(name_width)} |{bar.ljust(width)}| "
+            f"{result.throughput:,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    results: list[RunResult],
+    baseline_name: str | None = None,
+    extra_columns: list[str] | None = None,
+) -> str:
+    """Render results as the aligned text table the bench harness prints."""
+    extra_columns = extra_columns or []
+    by_name = {result.name: result for result in results}
+    baseline = by_name.get(baseline_name) if baseline_name else None
+
+    headers = ["system", "ops", "ops/sec", "p50(us)", "p99(us)"]
+    if baseline is not None:
+        headers.append("overhead")
+    headers.extend(extra_columns)
+
+    rows = [headers]
+    for result in results:
+        row = [
+            result.name,
+            str(result.ops),
+            f"{result.throughput:,.0f}",
+            f"{result.p50_us:,.1f}",
+            f"{result.p99_us:,.1f}",
+        ]
+        if baseline is not None:
+            if result is baseline:
+                row.append("baseline")
+            else:
+                row.append(f"{relative_overhead(baseline, result):+.1f}%")
+        for column in extra_columns:
+            value = result.extra.get(column, "")
+            row.append(f"{value:,.0f}" if isinstance(value, (int, float)) else str(value))
+        rows.append(row)
+
+    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+    lines = [f"== {title} =="]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Key generators: db_bench-style fixed-width keys and YCSB distributions.
+
+The zipfian generator is the classic Gray et al. algorithm YCSB uses, with
+FNV scrambling so hot keys spread across the keyspace; "latest" skews
+toward recently inserted records (YCSB workload D).
+"""
+
+from __future__ import annotations
+
+import random
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value``."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+def format_key(index: int, key_size: int = 16) -> bytes:
+    """db_bench-style fixed-width decimal key (default 16 bytes)."""
+    text = b"%0*d" % (key_size, index)
+    return text[-key_size:]
+
+
+class KeyGenerator:
+    """Interface: ``next_index()`` yields an integer key index."""
+
+    def next_index(self) -> int:
+        raise NotImplementedError
+
+    def next_key(self, key_size: int = 16) -> bytes:
+        return format_key(self.next_index(), key_size)
+
+
+class SequentialKeys(KeyGenerator):
+    """0, 1, 2, ... (fillseq / load phases)."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next_index(self) -> int:
+        index = self._next
+        self._next += 1
+        return index
+
+
+class UniformKeys(KeyGenerator):
+    """Uniformly random over [0, keyspace)."""
+
+    def __init__(self, keyspace: int, seed: int | None = None):
+        if keyspace <= 0:
+            raise ValueError("keyspace must be positive")
+        self.keyspace = keyspace
+        self._rand = random.Random(seed)
+
+    def next_index(self) -> int:
+        return self._rand.randrange(self.keyspace)
+
+
+class ZipfianGenerator:
+    """YCSB's zipfian over [0, n): popular items get most requests."""
+
+    ZIPFIAN_CONSTANT = 0.99
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
+                 seed: int | None = None):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.theta = theta
+        self._rand = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; integral approximation above a cutoff keeps
+        # construction O(1)-ish for the multi-million-key sweeps.
+        if n <= 10_000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10_001))
+        tail = ((n ** (1 - theta)) - (10_000 ** (1 - theta))) / (1 - theta)
+        return head + tail
+
+    def next_value(self) -> int:
+        u = self._rand.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class ZipfianKeys(KeyGenerator):
+    """Scrambled zipfian: hot ranks spread over the keyspace via FNV."""
+
+    def __init__(self, keyspace: int, seed: int | None = None, theta: float = 0.99):
+        self.keyspace = keyspace
+        self._zipf = ZipfianGenerator(keyspace, theta=theta, seed=seed)
+
+    def next_index(self) -> int:
+        return fnv1a_64(self._zipf.next_value()) % self.keyspace
+
+
+class LatestGenerator(KeyGenerator):
+    """YCSB's "latest" distribution: recent inserts are hottest (workload D).
+
+    Call :meth:`advance` whenever a new record is inserted.
+    """
+
+    def __init__(self, initial_count: int, seed: int | None = None):
+        self._count = max(1, initial_count)
+        self._zipf = ZipfianGenerator(self._count, seed=seed)
+
+    def advance(self) -> int:
+        """Register an insert; returns the new record's index."""
+        index = self._count
+        self._count += 1
+        return index
+
+    def next_index(self) -> int:
+        offset = self._zipf.next_value() % self._count
+        return self._count - 1 - offset

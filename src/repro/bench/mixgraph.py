@@ -1,0 +1,89 @@
+"""Mixgraph: the Facebook social-graph macro workload (Cao et al., FAST'20).
+
+The paper runs db_bench's mixgraph with a preloaded database; its salient
+properties, reproduced here:
+
+- highly skewed key popularity (two-term power law, modelled with the
+  YCSB zipfian over a scrambled keyspace);
+- small values drawn from a generalized Pareto distribution with a mean
+  around 35-40 bytes;
+- a GET-heavy operation mix with occasional PUTs and short range SEEKs
+  (the FAST'20 trace is roughly 0.83 GET / 0.14 PUT / 0.03 SEEK).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import RunResult
+from repro.bench.keygen import ZipfianKeys, format_key
+from repro.bench.valuegen import ValueGenerator
+from repro.lsm.db import DB
+
+
+@dataclass
+class MixgraphSpec:
+    """Parameters for the mixgraph run (paper: 50M preload / 10M ops)."""
+
+    num_ops: int = 5000
+    keyspace: int = 5000
+    key_size: int = 16
+    get_fraction: float = 0.83
+    put_fraction: float = 0.14   # remainder is SEEK
+    scan_length: int = 10
+    # Generalized Pareto value sizes (FAST'20 fit): sigma/xi chosen for a
+    # ~37-byte mean, capped to keep outliers bounded.
+    pareto_sigma: float = 16.0
+    pareto_xi: float = 0.2
+    value_cap: int = 1024
+    seed: int = 42
+
+
+def _pareto_value_size(rand: random.Random, spec: MixgraphSpec) -> int:
+    u = rand.random()
+    size = spec.pareto_sigma / spec.pareto_xi * ((1 - u) ** -spec.pareto_xi - 1)
+    return max(1, min(spec.value_cap, int(size) + 16))
+
+
+def preload_mixgraph(db: DB, spec: MixgraphSpec) -> None:
+    """Load the keyspace with Pareto-sized values, then settle the tree."""
+    rand = random.Random(spec.seed)
+    values = ValueGenerator(64, seed=spec.seed)
+    for index in range(spec.keyspace):
+        size = _pareto_value_size(rand, spec)
+        db.put(format_key(index, spec.key_size), values.next_value(size))
+    db.compact_range()
+
+
+def run_mixgraph(db: DB, spec: MixgraphSpec, name: str = "mixgraph") -> RunResult:
+    """Execute the GET/PUT/SEEK mix against a preloaded database."""
+    keys = ZipfianKeys(spec.keyspace, seed=spec.seed + 1)
+    values = ValueGenerator(64, seed=spec.seed + 2)
+    rand = random.Random(spec.seed + 3)
+
+    latencies = []
+    gets = puts = seeks = 0
+    start = time.perf_counter()
+    for _ in range(spec.num_ops):
+        choice = rand.random()
+        key = keys.next_key(spec.key_size)
+        op_start = time.perf_counter()
+        if choice < spec.get_fraction:
+            db.get(key)
+            gets += 1
+        elif choice < spec.get_fraction + spec.put_fraction:
+            size = _pareto_value_size(rand, spec)
+            db.put(key, values.next_value(size))
+            puts += 1
+        else:
+            db.scan(start=key, limit=spec.scan_length)
+            seeks += 1
+        latencies.append(time.perf_counter() - op_start)
+    elapsed = time.perf_counter() - start
+    result = RunResult(
+        name=name, ops=spec.num_ops, elapsed_s=elapsed, latencies_s=latencies
+    )
+    result.extra.update({"gets": gets, "puts": puts, "seeks": seeks})
+    return result

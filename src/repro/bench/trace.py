@@ -1,0 +1,106 @@
+"""Workload trace capture and replay (db_bench's trace_replay analogue).
+
+A :class:`TracingDB` wraps any DB-like object and appends every operation
+to a trace file (framed, checksummed -- the WAL record format reused).
+:func:`replay_trace` re-executes a captured trace against another database,
+which is how production workloads get reproduced against candidate
+configurations (e.g. replay a plaintext baseline's trace against SHIELD).
+"""
+
+from __future__ import annotations
+
+from repro.env.base import Env
+from repro.lsm.envelope import FILE_KIND_OTHER
+from repro.lsm.filecrypto import NULL_CRYPTO, PlaintextCryptoProvider
+from repro.lsm.wal import WALWriter, read_wal_records
+from repro.util.coding import (
+    decode_length_prefixed,
+    encode_length_prefixed,
+)
+
+OP_PUT = 1
+OP_GET = 2
+OP_DELETE = 3
+OP_SCAN = 4
+
+
+def _encode_op(op: int, key: bytes, value: bytes) -> bytes:
+    return bytes([op]) + encode_length_prefixed(key) + encode_length_prefixed(value)
+
+
+def _decode_op(buf: bytes) -> tuple[int, bytes, bytes]:
+    op = buf[0]
+    key, offset = decode_length_prefixed(buf, 1)
+    value, __ = decode_length_prefixed(buf, offset)
+    return op, key, value
+
+
+class TracingDB:
+    """Record every operation passing through to the wrapped DB."""
+
+    def __init__(self, db, env: Env, trace_path: str):
+        self.db = db
+        self._writer = WALWriter(
+            env, trace_path, NULL_CRYPTO, file_kind=FILE_KIND_OTHER
+        )
+        self.operations_traced = 0
+        self._tracing = True
+
+    def _record(self, op: int, key: bytes, value: bytes = b"") -> None:
+        if not self._tracing:
+            return  # trace closed; operate as a plain passthrough
+        self._writer.add_record(_encode_op(op, key, value))
+        self.operations_traced += 1
+
+    def put(self, key: bytes, value: bytes, opts=None) -> None:
+        self._record(OP_PUT, key, value)
+        self.db.put(key, value, opts)
+
+    def get(self, key: bytes, opts=None):
+        self._record(OP_GET, key)
+        return self.db.get(key, opts)
+
+    def delete(self, key: bytes, opts=None) -> None:
+        self._record(OP_DELETE, key)
+        self.db.delete(key, opts)
+
+    def scan(self, start: bytes = b"", end: bytes | None = None,
+             limit: int | None = None, opts=None):
+        self._record(OP_SCAN, start, end or b"")
+        return self.db.scan(start, end, limit, opts)
+
+    def close_trace(self) -> None:
+        self._tracing = False
+        self._writer.sync()
+        self._writer.close()
+
+    def __getattr__(self, name):
+        # Everything else (flush, compact_range, stats, ...) passes through.
+        return getattr(self.db, name)
+
+
+def read_trace(env: Env, trace_path: str) -> list[tuple[int, bytes, bytes]]:
+    """Parse a trace file into (op, key, value) tuples."""
+    return [
+        _decode_op(record)
+        for record in read_wal_records(env, trace_path, PlaintextCryptoProvider())
+    ]
+
+
+def replay_trace(db, env: Env, trace_path: str) -> dict[str, int]:
+    """Re-execute a trace against ``db``; returns per-op counts."""
+    counts = {"put": 0, "get": 0, "delete": 0, "scan": 0}
+    for op, key, value in read_trace(env, trace_path):
+        if op == OP_PUT:
+            db.put(key, value)
+            counts["put"] += 1
+        elif op == OP_GET:
+            db.get(key)
+            counts["get"] += 1
+        elif op == OP_DELETE:
+            db.delete(key)
+            counts["delete"] += 1
+        elif op == OP_SCAN:
+            db.scan(key, value or None)
+            counts["scan"] += 1
+    return counts

@@ -1,0 +1,31 @@
+"""Value generation: random bytes sliced from a pre-generated pool.
+
+db_bench does the same (a compressible random pool) so value generation
+never dominates the measured path.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ValueGenerator:
+    """Produce pseudo-random values of a fixed (or per-call) size."""
+
+    _POOL_SIZE = 1 << 20
+
+    def __init__(self, value_size: int = 100, seed: int | None = None):
+        if value_size <= 0:
+            raise ValueError("value_size must be positive")
+        self.value_size = value_size
+        rand = random.Random(seed)
+        self._pool = bytes(rand.getrandbits(8) for _ in range(1 << 16)) * 16
+        self._rand = rand
+
+    def next_value(self, size: int | None = None) -> bytes:
+        size = size if size is not None else self.value_size
+        if size > len(self._pool):
+            repeats = size // len(self._pool) + 1
+            self._pool *= repeats
+        start = self._rand.randrange(len(self._pool) - size + 1)
+        return self._pool[start:start + size]

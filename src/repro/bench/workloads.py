@@ -1,0 +1,149 @@
+"""db_bench-style micro workloads (Section 6.2's micro benchmarks).
+
+All workloads take an open DB and a :class:`WorkloadSpec` and return a
+:class:`repro.bench.harness.RunResult`.  Paper defaults: 16-byte keys,
+100-byte values.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import RunResult
+from repro.bench.keygen import SequentialKeys, UniformKeys, format_key
+from repro.bench.valuegen import ValueGenerator
+from repro.lsm.db import DB
+
+
+@dataclass
+class WorkloadSpec:
+    """Shared workload parameters (db_bench defaults, scaled down)."""
+
+    num_ops: int = 5000
+    keyspace: int = 5000
+    key_size: int = 16
+    value_size: int = 100
+    seed: int = 42
+    read_fraction: float = 0.5  # for read_write_mix
+
+
+def _run(db: DB, name: str, operations) -> RunResult:
+    latencies = []
+    count = 0
+    start = time.perf_counter()
+    for operation in operations:
+        op_start = time.perf_counter()
+        operation()
+        latencies.append(time.perf_counter() - op_start)
+        count += 1
+    elapsed = time.perf_counter() - start
+    return RunResult(name=name, ops=count, elapsed_s=elapsed, latencies_s=latencies)
+
+
+def fill_random(db: DB, spec: WorkloadSpec, name: str = "fillrandom") -> RunResult:
+    """Random-order puts over the keyspace (the paper's worst case)."""
+    keys = UniformKeys(spec.keyspace, seed=spec.seed)
+    values = ValueGenerator(spec.value_size, seed=spec.seed)
+
+    def operations():
+        for _ in range(spec.num_ops):
+            key = keys.next_key(spec.key_size)
+            value = values.next_value()
+            yield lambda k=key, v=value: db.put(k, v)
+
+    return _run(db, name, operations())
+
+
+def fill_seq(db: DB, spec: WorkloadSpec, name: str = "fillseq") -> RunResult:
+    """Sequential-order puts (used to preload read benchmarks)."""
+    keys = SequentialKeys()
+    values = ValueGenerator(spec.value_size, seed=spec.seed)
+
+    def operations():
+        for _ in range(spec.num_ops):
+            key = keys.next_key(spec.key_size)
+            value = values.next_value()
+            yield lambda k=key, v=value: db.put(k, v)
+
+    return _run(db, name, operations())
+
+
+def preload(db: DB, spec: WorkloadSpec) -> None:
+    """Load every key in the keyspace once, then settle the tree."""
+    values = ValueGenerator(spec.value_size, seed=spec.seed)
+    for index in range(spec.keyspace):
+        db.put(format_key(index, spec.key_size), values.next_value())
+    db.compact_range()
+
+
+def read_random(db: DB, spec: WorkloadSpec, name: str = "readrandom") -> RunResult:
+    """Uniform random point lookups over a preloaded keyspace."""
+    keys = UniformKeys(spec.keyspace, seed=spec.seed + 1)
+
+    def operations():
+        for _ in range(spec.num_ops):
+            key = keys.next_key(spec.key_size)
+            yield lambda k=key: db.get(k)
+
+    return _run(db, name, operations())
+
+
+def read_while_writing(
+    db: DB, spec: WorkloadSpec, name: str = "readwhilewriting"
+) -> RunResult:
+    """db_bench's readwhilewriting: measured reads race a background writer."""
+    import threading
+
+    stop = threading.Event()
+    started = threading.Event()
+    writes_done = [0]
+
+    def background_writer():
+        keys = UniformKeys(spec.keyspace, seed=spec.seed + 9)
+        values = ValueGenerator(spec.value_size, seed=spec.seed + 9)
+        while not stop.is_set():
+            db.put(keys.next_key(spec.key_size), values.next_value())
+            writes_done[0] += 1
+            started.set()
+
+    writer = threading.Thread(target=background_writer)
+    writer.start()
+    started.wait(timeout=5)  # ensure reads genuinely race writes
+    try:
+        keys = UniformKeys(spec.keyspace, seed=spec.seed + 1)
+
+        def operations():
+            for _ in range(spec.num_ops):
+                key = keys.next_key(spec.key_size)
+                yield lambda k=key: db.get(k)
+
+        result = _run(db, name, operations())
+    finally:
+        stop.set()
+        writer.join()
+    result.extra["background_writes"] = writes_done[0]
+    return result
+
+
+def read_write_mix(
+    db: DB, spec: WorkloadSpec, name: str | None = None
+) -> RunResult:
+    """readwriterandom: a configurable read/write ratio (Figures 8/20/23)."""
+    if name is None:
+        name = f"rw-{int(spec.read_fraction * 100)}r"
+    keys = UniformKeys(spec.keyspace, seed=spec.seed + 2)
+    values = ValueGenerator(spec.value_size, seed=spec.seed)
+    rand = random.Random(spec.seed + 3)
+
+    def operations():
+        for _ in range(spec.num_ops):
+            key = keys.next_key(spec.key_size)
+            if rand.random() < spec.read_fraction:
+                yield lambda k=key: db.get(k)
+            else:
+                value = values.next_value()
+                yield lambda k=key, v=value: db.put(k, v)
+
+    return _run(db, name, operations())

@@ -1,0 +1,124 @@
+"""YCSB core workloads A-F (Cooper et al.), as the paper runs them.
+
+Paper setup (Section 6.2): 1 KB values, a preloaded database, then the
+target workload.  Definitions follow the YCSB core properties:
+
+====  =============================  ====================
+name  operation mix                  request distribution
+====  =============================  ====================
+A     50% read / 50% update          zipfian
+B     95% read / 5% update           zipfian
+C     100% read                      zipfian
+D     95% read / 5% insert           latest
+E     95% scan / 5% insert           zipfian
+F     50% read / 50% read-mod-write  zipfian
+====  =============================  ====================
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import RunResult
+from repro.bench.keygen import LatestGenerator, ZipfianKeys, format_key
+from repro.bench.valuegen import ValueGenerator
+from repro.lsm.db import DB
+
+
+@dataclass
+class YCSBSpec:
+    """Scaled-down YCSB parameters (paper: 10M records / 1M ops, 1KB)."""
+
+    record_count: int = 2000
+    operation_count: int = 2000
+    key_size: int = 16
+    value_size: int = 1024
+    scan_length: int = 20
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class _WorkloadMix:
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # or "latest"
+
+
+YCSB_WORKLOADS: dict[str, _WorkloadMix] = {
+    "A": _WorkloadMix(read=0.5, update=0.5),
+    "B": _WorkloadMix(read=0.95, update=0.05),
+    "C": _WorkloadMix(read=1.0),
+    "D": _WorkloadMix(read=0.95, insert=0.05, distribution="latest"),
+    "E": _WorkloadMix(scan=0.95, insert=0.05),
+    "F": _WorkloadMix(read=0.5, rmw=0.5),
+}
+
+
+def load_ycsb(db: DB, spec: YCSBSpec) -> None:
+    """The YCSB load phase: insert record_count records, settle the tree."""
+    values = ValueGenerator(spec.value_size, seed=spec.seed)
+    for index in range(spec.record_count):
+        db.put(format_key(index, spec.key_size), values.next_value())
+    db.compact_range()
+
+
+def run_ycsb(
+    db: DB, workload: str, spec: YCSBSpec, name: str | None = None
+) -> RunResult:
+    """Run one YCSB workload against a loaded database."""
+    mix = YCSB_WORKLOADS[workload.upper()]
+    name = name or f"ycsb-{workload.upper()}"
+    rand = random.Random(spec.seed + 17)
+    values = ValueGenerator(spec.value_size, seed=spec.seed + 5)
+
+    latest = LatestGenerator(spec.record_count, seed=spec.seed + 7)
+    zipf = ZipfianKeys(spec.record_count, seed=spec.seed + 9)
+    inserted = spec.record_count
+
+    def choose_key() -> bytes:
+        if mix.distribution == "latest":
+            return format_key(latest.next_index(), spec.key_size)
+        return format_key(zipf.next_index() % inserted, spec.key_size)
+
+    latencies = []
+    counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "rmw": 0}
+    start = time.perf_counter()
+    for _ in range(spec.operation_count):
+        roll = rand.random()
+        op_start = time.perf_counter()
+        if roll < mix.read:
+            db.get(choose_key())
+            counts["read"] += 1
+        elif roll < mix.read + mix.update:
+            db.put(choose_key(), values.next_value())
+            counts["update"] += 1
+        elif roll < mix.read + mix.update + mix.insert:
+            index = latest.advance()
+            inserted += 1
+            db.put(format_key(index, spec.key_size), values.next_value())
+            counts["insert"] += 1
+        elif roll < mix.read + mix.update + mix.insert + mix.scan:
+            length = rand.randrange(1, spec.scan_length + 1)
+            db.scan(start=choose_key(), limit=length)
+            counts["scan"] += 1
+        else:
+            key = choose_key()
+            db.get(key)
+            db.put(key, values.next_value())
+            counts["rmw"] += 1
+        latencies.append(time.perf_counter() - op_start)
+    elapsed = time.perf_counter() - start
+
+    result = RunResult(
+        name=name,
+        ops=spec.operation_count,
+        elapsed_s=elapsed,
+        latencies_s=latencies,
+    )
+    result.extra.update(counts)
+    return result

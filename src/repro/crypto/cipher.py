@@ -1,0 +1,136 @@
+"""Cipher registry, scheme identifiers, and global cost accounting.
+
+Every persistent-file envelope stores a one-byte *scheme id* so a reader (on
+any server in a disaggregated deployment) knows how to construct the cipher
+once it has resolved the DEK.  ``CRYPTO_STATS`` counts context
+initializations and bytes processed, which is exactly the decomposition the
+paper uses to explain the WAL-write bottleneck (Section 3.2 / Figure 4).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.crypto.aes import AES
+from repro.crypto.chacha20 import ChaCha20Cipher
+from repro.crypto.ctr import CtrCipher
+from repro.crypto.xof import ShakeCtrCipher
+from repro.errors import EncryptionError
+from repro.util.stats import StatsRegistry
+
+SCHEME_NONE = 0
+
+CRYPTO_STATS = StatsRegistry()
+
+
+class StreamCipher(Protocol):
+    """A seekable XOR stream cipher: encryption and decryption coincide."""
+
+    def keystream(self, offset: int, length: int) -> bytes:
+        ...
+
+    def xor_at(self, data: bytes, offset: int) -> bytes:
+        ...
+
+
+@dataclass(frozen=True)
+class CipherSpec:
+    """Static description of one encryption scheme."""
+
+    name: str
+    scheme_id: int
+    key_size: int
+    nonce_size: int
+    factory: Callable[[bytes, bytes], StreamCipher]
+
+
+def _make_aes128(key: bytes, nonce: bytes) -> StreamCipher:
+    return CtrCipher(AES(key), nonce)
+
+
+def _make_aes256(key: bytes, nonce: bytes) -> StreamCipher:
+    return CtrCipher(AES(key), nonce)
+
+
+_SPECS: dict[str, CipherSpec] = {}
+_SPECS_BY_ID: dict[int, CipherSpec] = {}
+
+
+def _register(spec: CipherSpec) -> None:
+    if spec.name in _SPECS or spec.scheme_id in _SPECS_BY_ID:
+        raise ValueError(f"duplicate cipher registration: {spec.name}")
+    _SPECS[spec.name] = spec
+    _SPECS_BY_ID[spec.scheme_id] = spec
+
+
+_register(CipherSpec("aes-128-ctr", 1, 16, 12, _make_aes128))
+_register(CipherSpec("aes-256-ctr", 2, 32, 12, _make_aes256))
+_register(CipherSpec("chacha20", 3, 32, 12, ChaCha20Cipher))
+_register(CipherSpec("shake-ctr", 4, 32, 16, ShakeCtrCipher))
+
+
+def available_schemes() -> list[str]:
+    """Names of every registered scheme."""
+    return sorted(_SPECS)
+
+
+def spec_for(scheme: str | int) -> CipherSpec:
+    """Look up a scheme by name or numeric id."""
+    if isinstance(scheme, int):
+        spec = _SPECS_BY_ID.get(scheme)
+    else:
+        spec = _SPECS.get(scheme)
+    if spec is None:
+        raise EncryptionError(f"unknown cipher scheme: {scheme!r}")
+    return spec
+
+
+def scheme_id(name: str) -> int:
+    return spec_for(name).scheme_id
+
+
+def scheme_name(identifier: int) -> str:
+    return spec_for(identifier).name
+
+
+def generate_key(scheme: str) -> bytes:
+    """Generate a random key of the right size for ``scheme``."""
+    return os.urandom(spec_for(scheme).key_size)
+
+
+def generate_nonce(scheme: str) -> bytes:
+    """Generate a random per-file nonce of the right size for ``scheme``."""
+    return os.urandom(spec_for(scheme).nonce_size)
+
+
+class _MeteredCipher:
+    """Wrap a cipher so keystream/xor work is counted in CRYPTO_STATS."""
+
+    def __init__(self, inner: StreamCipher):
+        self._inner = inner
+
+    def keystream(self, offset: int, length: int) -> bytes:
+        CRYPTO_STATS.counter("crypto.bytes").add(length)
+        return self._inner.keystream(offset, length)
+
+    def xor_at(self, data: bytes, offset: int) -> bytes:
+        CRYPTO_STATS.counter("crypto.bytes").add(len(data))
+        CRYPTO_STATS.counter("crypto.ops").add(1)
+        return self._inner.xor_at(data, offset)
+
+
+def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
+    """Instantiate a cipher context (counted as one initialization)."""
+    spec = spec_for(scheme)
+    if len(key) != spec.key_size:
+        raise EncryptionError(
+            f"{spec.name} needs a {spec.key_size}-byte key, got {len(key)}"
+        )
+    if len(nonce) != spec.nonce_size:
+        raise EncryptionError(
+            f"{spec.name} needs a {spec.nonce_size}-byte nonce, got {len(nonce)}"
+        )
+    CRYPTO_STATS.counter("crypto.context_inits").add(1)
+    return _MeteredCipher(spec.factory(key, nonce))

@@ -1,0 +1,118 @@
+"""Offloaded compaction (Sections 5.6 and 6.4, Figures 22-24).
+
+The compaction worker runs on the storage cluster (as Disaggregated-RocksDB
+and CaaS-LSM do): it reads input SSTs through storage-local I/O, merges, and
+writes outputs locally, so the heavy I/O never crosses the compute link --
+only the small job RPC does.  Crucially, the worker is a *different server*:
+it learns which DEK each input needs from the plaintext envelope DEK-ID and
+resolves it through its own KeyClient (secure cache first, then the KDS),
+and it provisions fresh DEKs for its outputs.  No centralized file->DEK
+mapping exists anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dist.network import NetworkLink
+from repro.env.base import Env
+from repro.lsm.envelope import FILE_KIND_SST
+from repro.lsm.filecrypto import CryptoProvider
+from repro.lsm.iterator import merge_entries, newest_visible
+from repro.lsm.options import Options
+from repro.lsm.sst import SSTBuilder, SSTFileInfo, SSTReader
+from repro.util.stats import StatsRegistry
+
+#: allocator: () -> (file_number, output_path); supplied by the DB owner so
+#: file numbers stay globally unique.
+OutputAllocator = Callable[[], tuple[int, str]]
+
+
+@dataclass
+class CompactionRequest:
+    """The job descriptor the compute server ships to the worker."""
+
+    input_paths: list[str]
+    bottommost: bool
+    split_outputs: bool
+    target_file_size: int
+    job_id: int = 0
+
+
+@dataclass
+class CompactionResult:
+    file_number: int
+    info: SSTFileInfo
+
+
+class CompactionService:
+    """A compaction worker colocated with disaggregated storage."""
+
+    def __init__(
+        self,
+        env: Env,
+        provider: CryptoProvider,
+        options: Options,
+        dispatch_link: NetworkLink | None = None,
+        name: str = "compaction-server-1",
+    ):
+        self.env = env
+        self.provider = provider
+        self.options = options
+        self.dispatch_link = dispatch_link
+        self.name = name
+        self.stats = StatsRegistry()
+
+    def compact(
+        self, request: CompactionRequest, allocate_output: OutputAllocator
+    ) -> list[CompactionResult]:
+        """Merge the inputs into fresh output SSTs; return their metadata."""
+        if self.dispatch_link is not None:
+            self.dispatch_link.ping()  # the job RPC crosses the network
+
+        for path in request.input_paths:
+            self.stats.counter("service.bytes_read").add(self.env.file_size(path))
+        readers = [
+            SSTReader(self.env, path, self.provider, self.options)
+            for path in request.input_paths
+        ]
+        try:
+            merged = newest_visible(
+                merge_entries([reader.entries() for reader in readers]),
+                keep_tombstones=not request.bottommost,
+            )
+            results: list[CompactionResult] = []
+            builder: SSTBuilder | None = None
+            builder_number = 0
+
+            def finish_builder():
+                nonlocal builder
+                if builder is None or builder.num_entries == 0:
+                    builder = None
+                    return
+                info = builder.finish()
+                results.append(CompactionResult(builder_number, info))
+                self.stats.counter("service.bytes_written").add(info.file_size)
+                builder = None
+
+            for key, seq, vtype, value in merged:
+                if builder is None:
+                    builder_number, out_path = allocate_output()
+                    crypto = self.provider.for_new_file(FILE_KIND_SST, out_path)
+                    builder = SSTBuilder(self.env, out_path, crypto, self.options)
+                builder.add(key, seq, vtype, value)
+                if (
+                    request.split_outputs
+                    and builder.estimated_size() >= request.target_file_size
+                ):
+                    finish_builder()
+            finish_builder()
+        finally:
+            for reader in readers:
+                reader.close()
+        self.stats.counter("service.jobs").add(1)
+
+        if self.dispatch_link is not None:
+            self.dispatch_link.ping()  # result metadata travels back
+        return results

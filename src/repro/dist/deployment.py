@@ -1,0 +1,100 @@
+"""One-call assembly of the paper's disaggregated-storage topology.
+
+``build_ds_deployment()`` gives you the Section 6.1 testbed in miniature:
+a compute server connected over a (simulated) gigabit link to a storage
+server, an optional offloaded-compaction worker living *on* the storage
+server, and knobs for the Figure 16/18 sensitivity sweeps (KDS latency,
+bandwidth, latency scale).
+
+I/O accounting (used for Table 3): ``compute_io`` meters every byte the
+compute-side DB pushes over the link; ``service_io`` meters the offloaded
+compaction worker's storage-local traffic.  The two are disjoint, matching
+the paper's per-server breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dist.compaction_service import CompactionService
+from repro.dist.network import NetworkConfig, NetworkLink
+from repro.dist.remote_env import RemoteEnv, StorageServer, TieredEnv
+from repro.env.base import Env
+from repro.env.mem import MemEnv
+from repro.env.metered import MeteredEnv
+from repro.lsm.filecrypto import CryptoProvider, PlaintextCryptoProvider
+from repro.lsm.options import Options
+from repro.util.clock import Clock, ScaledClock
+
+
+@dataclass
+class DSDeployment:
+    """A wired-up compute + storage pair."""
+
+    clock: Clock
+    storage: StorageServer
+    link: NetworkLink
+    remote_env: RemoteEnv
+    compute_io: MeteredEnv   # compute server's traffic to storage
+    service_io: MeteredEnv   # compaction server's storage-local traffic
+
+    def db_options(
+        self,
+        base: Options | None = None,
+        tiered_wal: bool = False,
+        local_env: Env | None = None,
+    ) -> Options:
+        """Engine Options whose env points at disaggregated storage."""
+        options = replace(base) if base is not None else Options()
+        if tiered_wal:
+            options.env = TieredEnv(local_env or MemEnv(), self.compute_io)
+        else:
+            options.env = self.compute_io
+        return options
+
+    def compaction_service(
+        self,
+        provider: CryptoProvider | None = None,
+        options: Options | None = None,
+        name: str = "compaction-server-1",
+    ) -> CompactionService:
+        """An offloaded compaction worker running on the storage server.
+
+        The worker reads/writes through storage-local I/O (no link charge
+        for the data); only the job dispatch RPC crosses the link.
+        """
+        return CompactionService(
+            env=self.service_io,
+            provider=provider or PlaintextCryptoProvider(),
+            options=options or Options(),
+            dispatch_link=self.link,
+            name=name,
+        )
+
+
+def build_ds_deployment(
+    network: NetworkConfig | None = None,
+    clock: Clock | None = None,
+    latency_scale: float = 1.0,
+    storage_env: Env | None = None,
+) -> DSDeployment:
+    """Assemble storage server + link + compute-side remote env.
+
+    ``latency_scale`` < 1 shrinks all simulated sleeps proportionally so
+    full benchmark sweeps finish quickly while preserving latency *ratios*.
+    """
+    if clock is None:
+        clock = ScaledClock(latency_scale)
+    storage = StorageServer(env=storage_env)
+    service_io = MeteredEnv(storage.env)
+    link = NetworkLink(network, clock=clock)
+    remote = RemoteEnv(storage, link)
+    compute_io = MeteredEnv(remote)
+    return DSDeployment(
+        clock=clock,
+        storage=storage,
+        link=link,
+        remote_env=remote,
+        compute_io=compute_io,
+        service_io=service_io,
+    )

@@ -1,0 +1,68 @@
+"""Simulated network link between compute and disaggregated storage.
+
+Models the two costs that matter for the paper's DS results: a fixed
+round-trip latency per operation and a serialization delay proportional to
+bytes over the configured bandwidth.  Every byte is accounted per
+direction, which is how the Table 3 I/O-distribution numbers are produced.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.util.clock import Clock, RealClock
+
+# Paper testbed: 1 Gbps switch, intra-datacenter RTT around 500 us.
+GIGABIT_BYTES_PER_S = 125_000_000
+INTRA_DC_RTT_S = 500e-6
+
+
+@dataclass
+class NetworkConfig:
+    """Link characteristics; bandwidth 0 disables the transfer charge."""
+
+    rtt_s: float = INTRA_DC_RTT_S
+    bandwidth_bytes_per_s: float = GIGABIT_BYTES_PER_S
+
+
+class NetworkLink:
+    """One bidirectional link with latency charging and byte accounting."""
+
+    def __init__(self, config: NetworkConfig | None = None, clock: Clock | None = None):
+        self.config = config or NetworkConfig()
+        self.clock = clock or RealClock()
+        self._lock = threading.Lock()
+        self.bytes_sent = 0          # compute -> storage
+        self.bytes_received = 0      # storage -> compute
+        self.round_trips = 0
+
+    def send(self, nbytes: int) -> None:
+        """Charge an upload of ``nbytes`` (one round trip)."""
+        self._charge(nbytes)
+        with self._lock:
+            self.bytes_sent += nbytes
+            self.round_trips += 1
+
+    def receive(self, nbytes: int) -> None:
+        """Charge a download of ``nbytes`` (one round trip)."""
+        self._charge(nbytes)
+        with self._lock:
+            self.bytes_received += nbytes
+            self.round_trips += 1
+
+    def ping(self) -> None:
+        """Charge a zero-payload round trip (metadata operations)."""
+        self.clock.sleep(self.config.rtt_s)
+        with self._lock:
+            self.round_trips += 1
+
+    def _charge(self, nbytes: int) -> None:
+        cost = self.config.rtt_s
+        if self.config.bandwidth_bytes_per_s > 0:
+            cost += nbytes / self.config.bandwidth_bytes_per_s
+        self.clock.sleep(cost)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self.bytes_sent + self.bytes_received

@@ -1,0 +1,129 @@
+"""Read-only LSM-KVS instances over shared disaggregated storage.
+
+During read-heavy phases, extra read-only instances launch in the compute
+pool and serve queries straight from the shared WAL and SST files
+(Section 2.2, Figure 2).  A read-only instance never creates, deletes, or
+rewrites anything; it resolves every file's DEK from the envelope DEK-ID
+through its *own* KeyClient, exactly like an offloaded compaction worker --
+the same metadata-enabled sharing mechanism (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.env.base import Env
+from repro.lsm.dbformat import MAX_SEQUENCE, TYPE_PUT
+from repro.lsm.filecrypto import CryptoProvider, PlaintextCryptoProvider
+from repro.lsm.iterator import merge_entries, newest_visible
+from repro.lsm.memtable import make_memtable
+from repro.lsm.options import Options
+from repro.lsm.sst import SSTReader
+from repro.lsm.filename import parse_file_name, sst_path
+from repro.lsm.version import VersionSet
+from repro.lsm.wal import read_wal_records
+from repro.lsm.write_batch import WriteBatch
+
+
+class ReadOnlyInstance:
+    """Serve gets/scans from another instance's persistent files."""
+
+    def __init__(
+        self,
+        path: str,
+        options: Options | None = None,
+        provider: CryptoProvider | None = None,
+    ):
+        self.path = path
+        self.options = options or Options()
+        self.env: Env = self.options.env
+        if self.env is None:
+            raise ValueError("ReadOnlyInstance needs an explicit env")
+        self.provider = provider or self.options.crypto_provider \
+            or PlaintextCryptoProvider()
+        self._readers: dict[int, SSTReader] = {}
+        self._mem = make_memtable("dict")
+        self._versions = VersionSet(
+            self.env, path, self.provider, self.options.num_levels
+        )
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-read the MANIFEST and replay live WALs (no writes anywhere)."""
+        self._versions = VersionSet(
+            self.env, self.path, self.provider, self.options.num_levels
+        )
+        self._versions.recover()
+        mem = make_memtable("dict")
+        for name in sorted(self.env.list_dir(self.path)):
+            parsed = parse_file_name(name)
+            if not parsed or parsed[0] != "wal":
+                continue
+            if parsed[1] < self._versions.log_number:
+                continue
+            for payload in read_wal_records(
+                self.env, f"{self.path}/{name}", self.provider
+            ):
+                first_seq, batch = WriteBatch.deserialize(payload)
+                seq = first_seq
+                for vtype, key, value in batch.items():
+                    mem.add(seq, vtype, key, value)
+                    seq += 1
+        self._mem = mem
+
+    def _reader(self, number: int) -> SSTReader:
+        reader = self._readers.get(number)
+        if reader is None:
+            reader = SSTReader(
+                self.env,
+                sst_path(self.path, number),
+                self.provider,
+                self.options,
+            )
+            self._readers[number] = reader
+        return reader
+
+    def get(self, key: bytes) -> bytes | None:
+        result = self._mem.get(key)
+        if result is None:
+            for __, meta in self._versions.current.candidates_for_key(key):
+                result = self._reader(meta.number).get(key, MAX_SEQUENCE)
+                if result is not None:
+                    break
+        if result is None:
+            return None
+        vtype, value = result
+        return value if vtype == TYPE_PUT else None
+
+    def scan(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        sources = [self._mem.entries()]
+        for __, meta in self._versions.current.all_files():
+            if end is not None and meta.smallest >= end:
+                continue
+            if meta.largest < start:
+                continue
+            sources.append(self._reader(meta.number).entries_from(start))
+        results: list[tuple[bytes, bytes]] = []
+        for key, __, ___, value in newest_visible(merge_entries(sources)):
+            if key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            results.append((key, value))
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def close(self) -> None:
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+    def __enter__(self) -> "ReadOnlyInstance":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,113 @@
+"""Sharded multi-instance deployment (Section 2.2's distributed setting).
+
+Before disaggregation, LSM-KVS scaled by running many instances per server
+with hash sharding (the paper cites ZippyDB).  This module provides that
+substrate:
+
+- :class:`ShardedDB` -- a fixed-shard hash router over N engine instances;
+- co-located instances can share one passkey-protected
+  :class:`~repro.keys.SecureDEKCache` (Section 5.2: "Multiple LSM-KVS
+  instances ... on the same server can share this cache"), so a DEK fetched
+  by one shard is a local hit for every other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.lsm.db import DB
+from repro.lsm.options import ReadOptions, WriteOptions
+from repro.lsm.write_batch import WriteBatch
+
+
+def shard_for_key(key: bytes, num_shards: int) -> int:
+    """Stable hash routing (blake2, independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+class ShardedDB:
+    """A fixed set of DB shards behind one key-value interface.
+
+    ``make_shard(shard_index, path) -> DB`` lets the caller decide each
+    shard's configuration -- typically ``open_shield_db`` with a shared KDS
+    and one shared SecureDEKCache for the whole server.
+    """
+
+    def __init__(self, base_path: str, num_shards: int, make_shard):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.base_path = base_path
+        self.num_shards = num_shards
+        self.shards: list[DB] = [
+            make_shard(index, f"{base_path}/shard-{index:03d}")
+            for index in range(num_shards)
+        ]
+
+    def _shard(self, key: bytes) -> DB:
+        return self.shards[shard_for_key(key, self.num_shards)]
+
+    def put(self, key: bytes, value: bytes,
+            opts: WriteOptions | None = None) -> None:
+        self._shard(key).put(key, value, opts)
+
+    def get(self, key: bytes, opts: ReadOptions | None = None) -> bytes | None:
+        return self._shard(key).get(key, opts)
+
+    def delete(self, key: bytes, opts: WriteOptions | None = None) -> None:
+        self._shard(key).delete(key, opts)
+
+    def write(self, batch: WriteBatch, opts: WriteOptions | None = None) -> None:
+        """Split a batch by shard; atomicity holds per shard (as in
+        production sharded deployments, cross-shard writes are not atomic)."""
+        per_shard: dict[int, WriteBatch] = {}
+        for vtype, key, value in batch.items():
+            index = shard_for_key(key, self.num_shards)
+            sub_batch = per_shard.setdefault(index, WriteBatch())
+            if vtype:
+                sub_batch.put(key, value)
+            else:
+                sub_batch.delete(key)
+        for index, sub_batch in per_shard.items():
+            self.shards[index].write(sub_batch, opts)
+
+    def scan(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Merged cross-shard range scan."""
+        merged: list[tuple[bytes, bytes]] = []
+        for shard in self.shards:
+            merged.extend(shard.scan(start, end))
+        merged.sort()
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def compact_all(self) -> None:
+        for shard in self.shards:
+            shard.compact_range()
+
+    def stats_totals(self) -> dict[str, float]:
+        """Sum each counter across shards."""
+        totals: dict[str, float] = {}
+        for shard in self.shards:
+            for name, value in shard.stats.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,16 @@
+"""EncFS: the instance-level encryption design (Section 4).
+
+A unified I/O engine that overloads every file operation of the LSM-KVS
+with encryption/decryption: the engine above it is completely unaware
+("transparent data protection").  One user-provided DEK -- supplied at
+startup and held only in memory -- encrypts every file; each file gets its
+own random nonce so the single key is never reused on the same keystream.
+
+The trade-offs the paper calls out apply verbatim: no per-file DEKs, no
+cheap rotation (re-encrypting means rewriting everything -- see
+:func:`reencrypt_env`), and any DEK holder can read every file.
+"""
+
+from repro.encfs.env import EncryptedEnv, reencrypt_file
+
+__all__ = ["EncryptedEnv", "reencrypt_file"]

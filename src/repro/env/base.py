@@ -1,0 +1,92 @@
+"""Abstract Env interface and file handle types."""
+
+from __future__ import annotations
+
+
+class WritableFile:
+    """An append-only file handle.
+
+    ``append`` hands bytes to the (possibly simulated) OS; ``sync`` makes
+    everything appended so far durable.  The distinction matters: the paper's
+    WAL analysis rests on buffered I/O surviving *process* crashes but not
+    *system* crashes (Section 5.3).
+    """
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def tell(self) -> int:
+        """Bytes appended so far (the current logical file size)."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "WritableFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RandomAccessFile:
+    """A positional-read file handle (how SST blocks are fetched)."""
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "RandomAccessFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Env:
+    """Filesystem-like interface every storage backend implements."""
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        raise NotImplementedError
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        raise NotImplementedError
+
+    def delete_file(self, path: str) -> None:
+        raise NotImplementedError
+
+    def rename_file(self, src: str, dst: str) -> None:
+        raise NotImplementedError
+
+    def file_exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def list_dir(self, path: str) -> list[str]:
+        raise NotImplementedError
+
+    def file_size(self, path: str) -> int:
+        raise NotImplementedError
+
+    def mkdirs(self, path: str) -> None:
+        raise NotImplementedError
+
+    # -- convenience helpers shared by all implementations -----------------
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file."""
+        with self.new_random_access_file(path) as handle:
+            return handle.read(0, handle.size())
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create/replace ``path`` with ``data``, synced."""
+        with self.new_writable_file(path) as handle:
+            handle.append(data)
+            handle.sync()

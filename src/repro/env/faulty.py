@@ -1,0 +1,114 @@
+"""Fault injection: make storage fail on demand.
+
+Wraps any Env and fails write-side operations (append/sync/create) once a
+configurable countdown expires, or whenever a path matches a predicate.
+Used by the failure-handling tests: a failed flush or compaction must
+surface as a background error to writers, never corrupt state, and the
+database must recover cleanly on reopen.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.env.base import Env, RandomAccessFile, WritableFile
+from repro.errors import IOError_
+
+
+class FaultInjectionEnv(Env):
+    """Env wrapper that injects write-path failures."""
+
+    def __init__(self, inner: Env):
+        self.inner = inner
+        self._lock = threading.Lock()
+        self._writes_until_failure: int | None = None
+        self._path_predicate: Callable[[str], bool] | None = None
+        self._armed = False
+        self.injected_failures = 0
+
+    # -- fault control ------------------------------------------------------
+
+    def fail_after_writes(self, count: int) -> None:
+        """Arm: the (count+1)-th write-side operation fails, and every one
+        after it until :meth:`heal` is called."""
+        with self._lock:
+            self._writes_until_failure = count
+            self._armed = True
+
+    def fail_paths(self, predicate: Callable[[str], bool]) -> None:
+        """Arm: any write-side operation on a matching path fails."""
+        with self._lock:
+            self._path_predicate = predicate
+            self._armed = True
+
+    def heal(self) -> None:
+        """Disarm all injected faults."""
+        with self._lock:
+            self._writes_until_failure = None
+            self._path_predicate = None
+            self._armed = False
+
+    def _check_write(self, path: str) -> None:
+        with self._lock:
+            if not self._armed:
+                return
+            if self._path_predicate is not None and self._path_predicate(path):
+                self.injected_failures += 1
+                raise IOError_(f"injected fault writing {path}")
+            if self._writes_until_failure is not None:
+                if self._writes_until_failure <= 0:
+                    self.injected_failures += 1
+                    raise IOError_(f"injected fault writing {path}")
+                self._writes_until_failure -= 1
+
+    # -- Env ------------------------------------------------------------------
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        self._check_write(path)
+        return _FaultyWritableFile(
+            self.inner.new_writable_file(path), self, path
+        )
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        return self.inner.new_random_access_file(path)
+
+    def delete_file(self, path: str) -> None:
+        self.inner.delete_file(path)
+
+    def rename_file(self, src: str, dst: str) -> None:
+        self._check_write(dst)
+        self.inner.rename_file(src, dst)
+
+    def file_exists(self, path: str) -> bool:
+        return self.inner.file_exists(path)
+
+    def list_dir(self, path: str) -> list[str]:
+        return self.inner.list_dir(path)
+
+    def file_size(self, path: str) -> int:
+        return self.inner.file_size(path)
+
+    def mkdirs(self, path: str) -> None:
+        self.inner.mkdirs(path)
+
+
+class _FaultyWritableFile(WritableFile):
+    def __init__(self, inner: WritableFile, env: FaultInjectionEnv, path: str):
+        self._inner = inner
+        self._env = env
+        self._path = path
+
+    def append(self, data: bytes) -> None:
+        self._env._check_write(self._path)
+        self._inner.append(data)
+
+    def sync(self) -> None:
+        self._env._check_write(self._path)
+        self._inner.sync()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def tell(self) -> int:
+        return self._inner.tell()

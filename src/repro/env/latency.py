@@ -1,0 +1,115 @@
+"""LatencyEnv: inject per-operation latency and bandwidth limits.
+
+A :class:`LatencyModel` charges ``op_latency_s`` per I/O call plus
+``1/bandwidth`` per byte through the configured clock.  Composing this under
+a remote Env reproduces the disaggregated-storage behaviour the paper
+leans on: network time dominates and absorbs encryption overhead
+(Section 5.6, Figures 19-24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.env.base import Env, RandomAccessFile, WritableFile
+from repro.util.clock import Clock, RealClock
+
+
+@dataclass
+class LatencyModel:
+    """Cost of touching storage: fixed per op + proportional to bytes."""
+
+    read_op_s: float = 0.0
+    write_op_s: float = 0.0
+    bandwidth_bytes_per_s: float = 0.0  # 0 means unlimited
+
+    def read_cost(self, nbytes: int) -> float:
+        return self.read_op_s + self._transfer(nbytes)
+
+    def write_cost(self, nbytes: int) -> float:
+        return self.write_op_s + self._transfer(nbytes)
+
+    def _transfer(self, nbytes: int) -> float:
+        if self.bandwidth_bytes_per_s <= 0:
+            return 0.0
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+class _LatencyWritableFile(WritableFile):
+    def __init__(self, inner: WritableFile, model: LatencyModel, clock: Clock):
+        self._inner = inner
+        self._model = model
+        self._clock = clock
+
+    def append(self, data: bytes) -> None:
+        self._clock.sleep(self._model.write_cost(len(data)))
+        self._inner.append(data)
+
+    def sync(self) -> None:
+        self._clock.sleep(self._model.write_op_s)
+        self._inner.sync()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+
+class _LatencyRandomAccessFile(RandomAccessFile):
+    def __init__(self, inner: RandomAccessFile, model: LatencyModel, clock: Clock):
+        self._inner = inner
+        self._model = model
+        self._clock = clock
+
+    def read(self, offset: int, length: int) -> bytes:
+        data = self._inner.read(offset, length)
+        self._clock.sleep(self._model.read_cost(len(data)))
+        return data
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class LatencyEnv(Env):
+    """Wrap any Env, charging latency for every data operation."""
+
+    def __init__(self, inner: Env, model: LatencyModel, clock: Clock | None = None):
+        self.inner = inner
+        self.model = model
+        self.clock = clock or RealClock()
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        self.clock.sleep(self.model.write_op_s)  # open round-trip
+        return _LatencyWritableFile(
+            self.inner.new_writable_file(path), self.model, self.clock
+        )
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        self.clock.sleep(self.model.read_op_s)  # open round-trip
+        return _LatencyRandomAccessFile(
+            self.inner.new_random_access_file(path), self.model, self.clock
+        )
+
+    def delete_file(self, path: str) -> None:
+        self.clock.sleep(self.model.write_op_s)
+        self.inner.delete_file(path)
+
+    def rename_file(self, src: str, dst: str) -> None:
+        self.clock.sleep(self.model.write_op_s)
+        self.inner.rename_file(src, dst)
+
+    def file_exists(self, path: str) -> bool:
+        return self.inner.file_exists(path)
+
+    def list_dir(self, path: str) -> list[str]:
+        return self.inner.list_dir(path)
+
+    def file_size(self, path: str) -> int:
+        return self.inner.file_size(path)
+
+    def mkdirs(self, path: str) -> None:
+        self.inner.mkdirs(path)

@@ -1,0 +1,95 @@
+"""Env backed by the real local filesystem."""
+
+from __future__ import annotations
+
+import os
+
+from repro.env.base import Env, RandomAccessFile, WritableFile
+from repro.errors import IOError_
+
+
+class _LocalWritableFile(WritableFile):
+    def __init__(self, path: str):
+        try:
+            self._handle = open(path, "wb")
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+        self._written = 0
+
+    def append(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._written += len(data)
+
+    def sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def tell(self) -> int:
+        return self._written
+
+
+class _LocalRandomAccessFile(RandomAccessFile):
+    def __init__(self, path: str):
+        try:
+            self._handle = open(path, "rb")
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+        self._size = os.fstat(self._handle.fileno()).st_size
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._handle.seek(offset)
+        return self._handle.read(length)
+
+    def size(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class LocalEnv(Env):
+    """POSIX filesystem Env."""
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        return _LocalWritableFile(path)
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        return _LocalRandomAccessFile(path)
+
+    def delete_file(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+
+    def rename_file(self, src: str, dst: str) -> None:
+        try:
+            os.replace(src, dst)
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+
+    def file_exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def list_dir(self, path: str) -> list[str]:
+        try:
+            return sorted(os.listdir(path))
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+
+    def file_size(self, path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
+
+    def mkdirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)

@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by every subsystem of the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CorruptionError(ReproError):
+    """Persistent data failed a checksum, magic-number, or format check."""
+
+
+class NotFoundError(ReproError):
+    """A requested key, file, or DEK does not exist."""
+
+
+class InvalidArgumentError(ReproError):
+    """A caller-supplied argument is out of range or inconsistent."""
+
+
+class IOError_(ReproError):
+    """An I/O operation failed in the (possibly simulated) environment."""
+
+
+class EncryptionError(ReproError):
+    """A cryptographic operation failed (bad key size, bad nonce, ...)."""
+
+
+class KeyManagementError(ReproError):
+    """DEK provisioning, caching, or authorization failed."""
+
+
+class AuthorizationError(KeyManagementError):
+    """The KDS refused the request (unauthorized or revoked server)."""
+
+
+class ProvisioningError(KeyManagementError):
+    """One-time DEK provisioning was violated (DEK already issued)."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent database state."""

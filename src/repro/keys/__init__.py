@@ -1,0 +1,38 @@
+"""Key-management substrate: DEKs, the KDS, secure caching, sharing policies.
+
+The paper assumes a decentralized Key Distribution Service (it uses the
+Secure Swarm Toolkit); this package reproduces the KDS *interface and
+semantics* SHIELD depends on -- unique DEK identifiers, server
+authorization with revocation, one-time provisioning, and a configurable
+per-request latency model -- plus the passkey-protected on-disk DEK cache of
+Section 5.2.
+"""
+
+from repro.keys.dek import DEK, new_dek_id
+from repro.keys.kds import (
+    KeyDistributionService,
+    InMemoryKDS,
+    SimulatedKDS,
+)
+from repro.keys.policies import (
+    KeyPolicy,
+    PerFileIsolationPolicy,
+    PerServerSharingPolicy,
+    HierarchicalDerivationPolicy,
+)
+from repro.keys.cache import SecureDEKCache
+from repro.keys.client import KeyClient
+
+__all__ = [
+    "DEK",
+    "new_dek_id",
+    "KeyDistributionService",
+    "InMemoryKDS",
+    "SimulatedKDS",
+    "KeyPolicy",
+    "PerFileIsolationPolicy",
+    "PerServerSharingPolicy",
+    "HierarchicalDerivationPolicy",
+    "SecureDEKCache",
+    "KeyClient",
+]

@@ -1,0 +1,179 @@
+"""Secure on-disk DEK cache (Section 5.2, "On-Demand Key Retrieval with
+Secure Caching").
+
+DEKs are wrapped with a key derived from a user-supplied passkey
+(PBKDF2-HMAC-SHA256) and authenticated with a keyed BLAKE2b MAC
+(encrypt-then-MAC), so the cache file is useless without the passkey and any
+tampering or a wrong passkey is detected.  The passkey itself is never
+persisted.  Multiple co-located LSM-KVS instances opening the same path with
+the same passkey share one cache, eliminating repeated KDS round-trips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+import threading
+
+from repro.crypto.xof import ShakeCtrCipher
+from repro.errors import CorruptionError, KeyManagementError
+from repro.keys.dek import DEK
+from repro.util.coding import (
+    decode_length_prefixed,
+    decode_varint64,
+    encode_length_prefixed,
+    encode_varint64,
+)
+
+_MAGIC = b"SDC1"
+_SALT_SIZE = 16
+_NONCE_SIZE = 16
+_MAC_SIZE = 32
+# Deliberately modest default so unit tests stay fast; production callers
+# can raise it.
+DEFAULT_PBKDF2_ITERATIONS = 5000
+
+
+def _derive_keys(passkey: str, salt: bytes, iterations: int) -> tuple[bytes, bytes]:
+    material = hashlib.pbkdf2_hmac(
+        "sha256", passkey.encode(), salt, iterations, dklen=64
+    )
+    return material[:32], material[32:]
+
+
+class SecureDEKCache:
+    """Passkey-protected persistent DEK store shared by co-located instances."""
+
+    def __init__(
+        self,
+        path: str,
+        passkey: str,
+        iterations: int = DEFAULT_PBKDF2_ITERATIONS,
+        write_through: bool = True,
+    ):
+        self.path = path
+        self._passkey = passkey
+        self._iterations = iterations
+        self.write_through = write_through
+        self._entries: dict[str, DEK] = {}
+        self._lock = threading.RLock()
+        self.kds_round_trips_saved = 0
+        if os.path.exists(path):
+            self._load()
+
+    # -- public API --------------------------------------------------------
+
+    def put(self, dek: DEK) -> None:
+        with self._lock:
+            self._entries[dek.dek_id] = dek
+            if self.write_through:
+                self._persist()
+
+    def get(self, dek_id: str) -> DEK | None:
+        with self._lock:
+            dek = self._entries.get(dek_id)
+            if dek is not None:
+                self.kds_round_trips_saved += 1
+            return dek
+
+    def remove(self, dek_id: str) -> None:
+        """Drop a DEK (called when its file is deleted after compaction)."""
+        with self._lock:
+            if self._entries.pop(dek_id, None) is not None and self.write_through:
+                self._persist()
+
+    def dek_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def flush(self) -> None:
+        """Persist explicitly (needed when ``write_through`` is off)."""
+        with self._lock:
+            self._persist()
+
+    def reload(self) -> None:
+        """Re-read the cache file (picks up writes from other instances)."""
+        with self._lock:
+            if os.path.exists(self.path):
+                self._load()
+
+    # -- serialization -----------------------------------------------------
+
+    def _serialize_entries(self) -> bytes:
+        parts = [encode_varint64(len(self._entries))]
+        for dek in self._entries.values():
+            parts.append(encode_length_prefixed(dek.dek_id.encode()))
+            parts.append(encode_length_prefixed(dek.scheme.encode()))
+            parts.append(encode_length_prefixed(dek.key))
+            parts.append(struct.pack("<d", dek.created_at))
+        return b"".join(parts)
+
+    @staticmethod
+    def _deserialize_entries(buf: bytes) -> dict[str, DEK]:
+        entries: dict[str, DEK] = {}
+        count, offset = decode_varint64(buf, 0)
+        for _ in range(count):
+            dek_id_raw, offset = decode_length_prefixed(buf, offset)
+            scheme_raw, offset = decode_length_prefixed(buf, offset)
+            key, offset = decode_length_prefixed(buf, offset)
+            if offset + 8 > len(buf):
+                raise CorruptionError("truncated DEK cache entry")
+            (created_at,) = struct.unpack_from("<d", buf, offset)
+            offset += 8
+            dek = DEK(
+                dek_id=dek_id_raw.decode(),
+                key=key,
+                scheme=scheme_raw.decode(),
+                created_at=created_at,
+            )
+            entries[dek.dek_id] = dek
+        return entries
+
+    def _persist(self) -> None:
+        salt = os.urandom(_SALT_SIZE)
+        nonce = os.urandom(_NONCE_SIZE)
+        enc_key, mac_key = _derive_keys(self._passkey, salt, self._iterations)
+        ciphertext = ShakeCtrCipher(enc_key, nonce).xor_at(
+            self._serialize_entries(), 0
+        )
+        mac = hashlib.blake2b(
+            nonce + ciphertext, key=mac_key, digest_size=_MAC_SIZE
+        ).digest()
+        blob = _MAGIC + salt + mac + nonce + ciphertext
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as handle:
+            blob = handle.read()
+        header_size = len(_MAGIC) + _SALT_SIZE + _MAC_SIZE + _NONCE_SIZE
+        if len(blob) < header_size or not blob.startswith(_MAGIC):
+            raise CorruptionError(f"{self.path} is not a DEK cache file")
+        offset = len(_MAGIC)
+        salt = blob[offset:offset + _SALT_SIZE]
+        offset += _SALT_SIZE
+        mac = blob[offset:offset + _MAC_SIZE]
+        offset += _MAC_SIZE
+        nonce = blob[offset:offset + _NONCE_SIZE]
+        offset += _NONCE_SIZE
+        ciphertext = blob[offset:]
+        enc_key, mac_key = _derive_keys(self._passkey, salt, self._iterations)
+        expected_mac = hashlib.blake2b(
+            nonce + ciphertext, key=mac_key, digest_size=_MAC_SIZE
+        ).digest()
+        if not hmac.compare_digest(mac, expected_mac):
+            raise KeyManagementError(
+                "DEK cache authentication failed: wrong passkey or tampering"
+            )
+        plaintext = ShakeCtrCipher(enc_key, nonce).xor_at(ciphertext, 0)
+        self._entries = self._deserialize_entries(plaintext)

@@ -1,0 +1,59 @@
+"""KeyClient: the per-server façade SHIELD talks to.
+
+Combines a KDS (possibly remote, with latency) and the optional secure local
+cache.  DEK lookups hit the cache first; only misses pay the KDS round-trip
+(Section 5.2).  All traffic is counted so benchmarks can report how many
+network requests the cache absorbed.
+"""
+
+from __future__ import annotations
+
+from repro.keys.cache import SecureDEKCache
+from repro.keys.dek import DEK
+from repro.keys.kds import KeyDistributionService
+from repro.util.stats import StatsRegistry
+
+
+class KeyClient:
+    """Resolve and provision DEKs for one server, with optional caching."""
+
+    def __init__(
+        self,
+        kds: KeyDistributionService,
+        server_id: str,
+        cache: SecureDEKCache | None = None,
+        default_scheme: str = "shake-ctr",
+    ):
+        self.kds = kds
+        self.server_id = server_id
+        self.cache = cache
+        self.default_scheme = default_scheme
+        self.stats = StatsRegistry()
+
+    def new_dek(self, scheme: str | None = None) -> DEK:
+        """Provision a fresh DEK (one KDS round-trip) and cache it."""
+        dek = self.kds.provision(self.server_id, scheme or self.default_scheme)
+        self.stats.counter("keyclient.provisions").add(1)
+        if self.cache is not None:
+            self.cache.put(dek)
+        return dek
+
+    def get_dek(self, dek_id: str) -> DEK:
+        """Resolve a DEK-ID: local secure cache first, then the KDS."""
+        if self.cache is not None:
+            cached = self.cache.get(dek_id)
+            if cached is not None:
+                self.stats.counter("keyclient.cache_hits").add(1)
+                return cached
+        dek = self.kds.fetch(self.server_id, dek_id)
+        self.stats.counter("keyclient.kds_fetches").add(1)
+        if self.cache is not None:
+            self.cache.put(dek)
+        return dek
+
+    def retire_dek(self, dek_id: str) -> None:
+        """Destroy a DEK everywhere once its file is gone (DEK rotation)."""
+        self.kds.retire(dek_id)
+        self.stats.counter("keyclient.retired").add(1)
+        if self.cache is not None:
+            self.cache.remove(dek_id)

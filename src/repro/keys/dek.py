@@ -1,0 +1,41 @@
+"""Data Encryption Keys (DEKs) and their identifiers.
+
+A DEK is the secret used to encrypt exactly the persistent bytes of one file
+(under SHIELD's per-file policy).  The DEK-ID is public -- it is embedded in
+plaintext file metadata so any authorized server can resolve it through the
+KDS -- while the key material itself never touches disk unwrapped.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+DEK_ID_BYTES = 12
+
+
+def new_dek_id() -> str:
+    """Generate a fresh globally unique DEK identifier."""
+    return "dek-" + os.urandom(DEK_ID_BYTES).hex()
+
+
+@dataclass(frozen=True)
+class DEK:
+    """A data encryption key: identifier, key material, and cipher scheme."""
+
+    dek_id: str
+    key: bytes = field(repr=False)  # never show key material in logs
+    scheme: str
+    created_at: float = 0.0
+
+    def __post_init__(self):
+        if not self.dek_id:
+            raise ValueError("DEK requires a non-empty identifier")
+        if not self.key:
+            raise ValueError("DEK requires non-empty key material")
+
+    def fingerprint(self) -> str:
+        """A short non-secret digest of the key, for logging/tests."""
+        import hashlib
+
+        return hashlib.blake2b(self.key, digest_size=6).hexdigest()

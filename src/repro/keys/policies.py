@@ -1,0 +1,79 @@
+"""DEK issuing policies (Section 5.4: "per-server sharing, per-file
+isolation, or hierarchical derivation").
+
+A policy decides what key material a provisioning request receives.  SHIELD
+itself is agnostic: it stores the DEK-ID in file metadata and asks the KDS to
+resolve it, so any of these policies can sit behind the same interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.crypto.cipher import spec_for
+from repro.keys.dek import DEK, new_dek_id
+
+
+class KeyPolicy:
+    """Interface: produce key material for a (server, scheme) request."""
+
+    def make_dek(self, server_id: str, scheme: str, now: float) -> DEK:
+        raise NotImplementedError
+
+
+class PerFileIsolationPolicy(KeyPolicy):
+    """A fresh random key per request: the strongest isolation (the default).
+
+    A compromised DEK exposes exactly one file (Section 5.5, Scenario 3).
+    """
+
+    def make_dek(self, server_id: str, scheme: str, now: float) -> DEK:
+        key = os.urandom(spec_for(scheme).key_size)
+        return DEK(dek_id=new_dek_id(), key=key, scheme=scheme, created_at=now)
+
+
+class PerServerSharingPolicy(KeyPolicy):
+    """One key per server: every provisioning request from the same server
+    receives the same key material (under fresh DEK-IDs), trading isolation
+    for fewer distinct secrets."""
+
+    def __init__(self):
+        self._server_keys: dict[tuple[str, str], bytes] = {}
+
+    def make_dek(self, server_id: str, scheme: str, now: float) -> DEK:
+        cache_key = (server_id, scheme)
+        if cache_key not in self._server_keys:
+            self._server_keys[cache_key] = os.urandom(spec_for(scheme).key_size)
+        return DEK(
+            dek_id=new_dek_id(),
+            key=self._server_keys[cache_key],
+            scheme=scheme,
+            created_at=now,
+        )
+
+
+class HierarchicalDerivationPolicy(KeyPolicy):
+    """Derive per-file keys from a master secret (envelope-encryption style).
+
+    key = BLAKE2b(master, personal=dek_id); the KDS only needs to persist the
+    master secret and can re-derive any DEK from its identifier.
+    """
+
+    def __init__(self, master: bytes | None = None):
+        self.master = master if master is not None else os.urandom(32)
+
+    def derive(self, dek_id: str, scheme: str) -> bytes:
+        size = spec_for(scheme).key_size
+        return hashlib.blake2b(
+            dek_id.encode(), key=self.master, digest_size=size
+        ).digest()
+
+    def make_dek(self, server_id: str, scheme: str, now: float) -> DEK:
+        dek_id = new_dek_id()
+        return DEK(
+            dek_id=dek_id,
+            key=self.derive(dek_id, scheme),
+            scheme=scheme,
+            created_at=now,
+        )

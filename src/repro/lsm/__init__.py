@@ -1,0 +1,42 @@
+"""A from-scratch LSM-KVS engine (the RocksDB-like substrate).
+
+Architecture follows Figure 1 of the paper: writes land in a Write-Ahead Log
+and a memtable; full memtables flush to immutable SST files; background
+compaction merges SST files across levels (leveled, universal, or FIFO
+style); a MANIFEST records the file-level metadata.
+
+Encryption integrates through two seams:
+
+- every persistent file starts with a plaintext *envelope* carrying the
+  cipher scheme, the DEK-ID, and the nonce (:mod:`repro.lsm.envelope`);
+- the engine asks a :class:`repro.lsm.filecrypto.CryptoProvider` for a
+  :class:`repro.lsm.filecrypto.FileCrypto` whenever it creates or opens a
+  file.  The default provider is plaintext; SHIELD supplies one backed by a
+  KDS (:mod:`repro.shield`).
+"""
+
+from repro.lsm.options import Options, ReadOptions, WriteOptions
+from repro.lsm.db import DB
+from repro.lsm.write_batch import WriteBatch
+from repro.lsm.backup import BackupEngine
+from repro.lsm.repair import repair_db
+from repro.lsm.filecrypto import (
+    CryptoProvider,
+    FileCrypto,
+    PlaintextCryptoProvider,
+    SingleKeyCryptoProvider,
+)
+
+__all__ = [
+    "DB",
+    "BackupEngine",
+    "repair_db",
+    "Options",
+    "ReadOptions",
+    "WriteOptions",
+    "WriteBatch",
+    "CryptoProvider",
+    "FileCrypto",
+    "PlaintextCryptoProvider",
+    "SingleKeyCryptoProvider",
+]

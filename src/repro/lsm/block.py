@@ -1,0 +1,97 @@
+"""SST data-block encoding.
+
+A block is a run of internal entries sorted by (user_key asc, seq desc)::
+
+    entry: key lp | seq varint | vtype u8 | value lp
+
+Block integrity is covered by a masked CRC stored in the *index* entry that
+points at the block, so blocks themselves carry no trailer.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+from repro.errors import CorruptionError
+from repro.util.coding import (
+    decode_length_prefixed,
+    decode_varint64,
+    encode_length_prefixed,
+    encode_varint64,
+)
+
+Entry = tuple[bytes, int, int, bytes]  # (key, seq, vtype, value)
+
+
+def encode_entry(key: bytes, seq: int, vtype: int, value: bytes) -> bytes:
+    return (
+        encode_length_prefixed(key)
+        + encode_varint64(seq)
+        + bytes([vtype])
+        + encode_length_prefixed(value)
+    )
+
+
+def decode_block(buf: bytes) -> list[Entry]:
+    """Parse a decrypted block into its entry list."""
+    entries: list[Entry] = []
+    offset = 0
+    total = len(buf)
+    while offset < total:
+        key, offset = decode_length_prefixed(buf, offset)
+        seq, offset = decode_varint64(buf, offset)
+        if offset >= total:
+            raise CorruptionError("truncated block entry")
+        vtype = buf[offset]
+        offset += 1
+        value, offset = decode_length_prefixed(buf, offset)
+        entries.append((key, seq, vtype, value))
+    return entries
+
+
+# Stored-block framing: one flag byte ahead of the (possibly compressed)
+# entry bytes.  Compression happens BEFORE encryption -- ciphertext does
+# not compress -- mirroring RocksDB's compress-then-encrypt pipeline.
+BLOCK_RAW = 0
+BLOCK_ZLIB = 1
+
+
+def wrap_block(raw: bytes, compression: str) -> bytes:
+    """Frame a raw entry block for storage, compressing when it helps."""
+    if compression == "zlib":
+        compressed = zlib.compress(raw, level=1)
+        if len(compressed) < len(raw):
+            return bytes([BLOCK_ZLIB]) + compressed
+    return bytes([BLOCK_RAW]) + raw
+
+
+def unwrap_block(stored: bytes) -> bytes:
+    """Invert :func:`wrap_block`."""
+    if not stored:
+        raise CorruptionError("empty stored block")
+    flag, body = stored[0], stored[1:]
+    if flag == BLOCK_RAW:
+        return bytes(body)
+    if flag == BLOCK_ZLIB:
+        try:
+            return zlib.decompress(body)
+        except zlib.error as exc:
+            raise CorruptionError(f"block decompression failed: {exc}") from exc
+    raise CorruptionError(f"unknown block compression flag {flag}")
+
+
+def search_block(entries: list[Entry], key: bytes, max_seq: int):
+    """Find the newest visible version of ``key`` in a parsed block.
+
+    Returns (vtype, value) or None.  Entries are sorted (key asc, seq desc),
+    so the first entry for ``key`` with seq <= max_seq wins.
+    """
+    keys = [entry[0] for entry in entries]
+    index = bisect.bisect_left(keys, key)
+    while index < len(entries) and entries[index][0] == key:
+        __, seq, vtype, value = entries[index]
+        if seq <= max_seq:
+            return (vtype, value)
+        index += 1
+    return None

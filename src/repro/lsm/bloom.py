@@ -1,0 +1,62 @@
+"""Bloom filter for SST files (LevelDB-style double hashing)."""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.util.coding import decode_varint64, encode_varint64
+
+
+def _base_hash(key: bytes) -> int:
+    # CRC-32 seeded twice gives a well-mixed 32-bit hash at C speed.
+    h = zlib.crc32(key, 0xBC9F1D34) & 0xFFFFFFFF
+    return h if h != 0 else 0x9E3779B9
+
+
+class BloomFilter:
+    """Fixed-size bloom filter built once over a file's user keys."""
+
+    def __init__(self, bits: bytearray, num_probes: int):
+        self._bits = bits
+        self.num_probes = num_probes
+
+    @classmethod
+    def build(cls, keys: list[bytes], bits_per_key: int) -> "BloomFilter":
+        # k = bits_per_key * ln(2), clamped like LevelDB.
+        num_probes = max(1, min(30, int(bits_per_key * 0.69)))
+        nbits = max(64, len(keys) * bits_per_key)
+        nbytes = (nbits + 7) // 8
+        bits = bytearray(nbytes)
+        nbits = nbytes * 8
+        for key in keys:
+            h = _base_hash(key)
+            delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+            for _ in range(num_probes):
+                position = h % nbits
+                bits[position // 8] |= 1 << (position % 8)
+                h = (h + delta) & 0xFFFFFFFF
+        return cls(bits, num_probes)
+
+    def may_contain(self, key: bytes) -> bool:
+        nbits = len(self._bits) * 8
+        if nbits == 0:
+            return True
+        h = _base_hash(key)
+        delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+        for _ in range(self.num_probes):
+            position = h % nbits
+            if not self._bits[position // 8] & (1 << (position % 8)):
+                return False
+            h = (h + delta) & 0xFFFFFFFF
+        return True
+
+    def encode(self) -> bytes:
+        return encode_varint64(self.num_probes) + bytes(self._bits)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "BloomFilter":
+        num_probes, offset = decode_varint64(buf, 0)
+        return cls(bytearray(buf[offset:]), num_probes)
+
+    def __len__(self) -> int:
+        return len(self._bits)

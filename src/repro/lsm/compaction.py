@@ -1,0 +1,247 @@
+"""Compaction pickers for the three policies the paper evaluates
+(Figure 15): leveled, universal (tiered), and FIFO.
+
+A picker inspects a Version and proposes a :class:`CompactionJob`; the DB
+executes the merge and applies the resulting VersionEdit.  SHIELD's DEK
+rotation rides on compaction: every output file gets a fresh DEK from the
+crypto provider and every input file's DEK is retired with it
+(Section 5.2, "Embedding DEK-Handling Practices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.options import (
+    COMPACTION_FIFO,
+    COMPACTION_LEVELED,
+    COMPACTION_UNIVERSAL,
+    Options,
+)
+from repro.lsm.version import FileMetadata, Version
+
+
+@dataclass
+class CompactionJob:
+    """A unit of background compaction work.
+
+    ``inputs`` maps level -> files consumed.  ``output_level`` is where
+    merged files land.  ``delete_only`` marks FIFO expiry (no merging).
+    """
+
+    inputs: dict[int, list[FileMetadata]] = field(default_factory=dict)
+    output_level: int = 0
+    delete_only: bool = False
+    bottommost: bool = False
+
+    def input_files(self) -> list[tuple[int, FileMetadata]]:
+        return [
+            (level, meta)
+            for level, files in sorted(self.inputs.items())
+            for meta in files
+        ]
+
+    def input_numbers(self) -> set[int]:
+        return {meta.number for __, meta in self.input_files()}
+
+    def total_input_bytes(self) -> int:
+        return sum(meta.size for __, meta in self.input_files())
+
+
+def _key_span(files: list[FileMetadata]) -> tuple[bytes, bytes]:
+    return (
+        min(meta.smallest for meta in files),
+        max(meta.largest for meta in files),
+    )
+
+
+def _is_bottommost(version: Version, output_level: int, begin, end) -> bool:
+    """True when no level below output_level holds overlapping data -- the
+    only situation where tombstones can be dropped."""
+    for level in range(output_level + 1, len(version.levels)):
+        if version.overlapping_files(level, begin, end):
+            return False
+    return True
+
+
+class CompactionPicker:
+    """Interface: propose a job, or None if the tree is in shape."""
+
+    def __init__(self, options: Options):
+        self.options = options
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        raise NotImplementedError
+
+
+class LeveledPicker(CompactionPicker):
+    """RocksDB-style leveled compaction: L0 count score, size scores above."""
+
+    def _level_target(self, level: int) -> int:
+        base = self.options.max_bytes_for_level_base
+        return base * self.options.fanout ** (level - 1)
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        best_level, best_score = -1, 1.0
+        level0_count = len(
+            [m for m in version.levels[0] if m.number not in compacting]
+        )
+        score = level0_count / self.options.level0_file_num_compaction_trigger
+        if score >= 1.0:
+            best_level, best_score = 0, score
+        for level in range(1, len(version.levels) - 1):
+            size = sum(
+                meta.size
+                for meta in version.levels[level]
+                if meta.number not in compacting
+            )
+            score = size / self._level_target(level)
+            if score > best_score:
+                best_level, best_score = level, score
+        if best_level < 0:
+            return None
+        return self._build_job(version, best_level, compacting)
+
+    def _build_job(
+        self, version: Version, level: int, compacting: set[int]
+    ) -> CompactionJob | None:
+        if level == 0:
+            # All L0 files merge together (they may overlap each other); if
+            # any is already being compacted we must wait, or the outputs
+            # would overlap the in-flight job's outputs.
+            if any(meta.number in compacting for meta in version.levels[0]):
+                return None
+            base_files = list(version.levels[0])
+            if not base_files:
+                return None
+        else:
+            candidates = [
+                meta
+                for meta in version.levels[level]
+                if meta.number not in compacting
+            ]
+            if not candidates:
+                return None
+            # Oldest file first approximates RocksDB's compaction cursor.
+            base_files = [min(candidates, key=lambda m: m.number)]
+        output_level = level + 1
+        begin, end = _key_span(base_files)
+        overlap = version.overlapping_files(output_level, begin, end)
+        # Never drop a busy overlapping file from the input set -- that
+        # would produce overlapping files at the output level.  Wait instead.
+        if any(meta.number in compacting for meta in overlap):
+            return None
+        inputs = {level: base_files}
+        if overlap:
+            inputs[output_level] = overlap
+            begin = min(begin, min(m.smallest for m in overlap))
+            end = max(end, max(m.largest for m in overlap))
+        return CompactionJob(
+            inputs=inputs,
+            output_level=output_level,
+            bottommost=_is_bottommost(version, output_level, begin, end),
+        )
+
+
+class UniversalPicker(CompactionPicker):
+    """Tiered compaction: every file is a sorted run in level 0; when the
+    run count exceeds the threshold, runs merge (fewer, larger I/Os -- the
+    contrast the paper draws against leveled).
+
+    Two merge policies:
+
+    - ``universal_size_ratio is None`` (default): merge *all* runs into one.
+    - otherwise: RocksDB-style size-ratio merging -- walk runs newest to
+      oldest, extending the candidate window while the next (older) run is
+      no larger than ``(100 + ratio)%`` of the window's accumulated size;
+      merge the window (at least ``min_merge_width`` runs, else fall back
+      to enough newest runs to get back under the run-count cap).
+    """
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        if any(meta.number in compacting for meta in version.levels[0]):
+            return None  # overlapping-output hazard: wait for the running job
+        runs = list(version.levels[0])
+        if len(runs) <= self.options.universal_max_sorted_runs:
+            return None
+        if len(runs) < self.options.universal_min_merge_width:
+            return None
+        if self.options.universal_size_ratio is None:
+            window = runs
+        else:
+            window = self._size_ratio_window(runs)
+        return CompactionJob(
+            inputs={0: window},
+            output_level=0,
+            bottommost=len(window) == len(version.levels[0]),
+        )
+
+    def _size_ratio_window(self, runs: list[FileMetadata]) -> list[FileMetadata]:
+        # L0 is ordered newest first; candidate windows start at the newest
+        # run, matching RocksDB's read-path constraint (merging a middle
+        # window would reorder run recency).
+        ratio = self.options.universal_size_ratio
+        window = [runs[0]]
+        accumulated = runs[0].size
+        for run in runs[1:]:
+            if run.size * 100 <= accumulated * (100 + ratio):
+                window.append(run)
+                accumulated += run.size
+            else:
+                break
+        if len(window) >= self.options.universal_min_merge_width:
+            return window
+        # Ratio produced no usable window: merge just enough newest runs to
+        # bring the run count back to the cap.
+        needed = len(runs) - self.options.universal_max_sorted_runs + 1
+        needed = max(needed, self.options.universal_min_merge_width)
+        return runs[:needed]
+
+
+class FIFOPicker(CompactionPicker):
+    """FIFO: never merge; drop the oldest files once total size exceeds the
+    cap, and (with ``fifo_ttl_seconds``) files older than the TTL.  Reads of
+    expired keys fail by design (the paper's Figure 15 notes exactly this
+    for its FIFO readrandom results)."""
+
+    def __init__(self, options):
+        super().__init__(options)
+        from repro.util.clock import RealClock
+
+        self._clock = options.clock or RealClock()
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        files = [m for m in version.levels[0] if m.number not in compacting]
+        ttl = self.options.fifo_ttl_seconds
+        if ttl > 0:
+            now = self._clock.now()
+            expired = [
+                meta for meta in files
+                if meta.created_at and now - meta.created_at > ttl
+            ]
+            if expired:
+                return CompactionJob(
+                    inputs={0: expired}, output_level=0, delete_only=True
+                )
+        total = sum(meta.size for meta in files)
+        if total <= self.options.fifo_max_table_files_size:
+            return None
+        doomed: list[FileMetadata] = []
+        for meta in sorted(files, key=lambda m: m.number):
+            if total <= self.options.fifo_max_table_files_size:
+                break
+            doomed.append(meta)
+            total -= meta.size
+        if not doomed:
+            return None
+        return CompactionJob(inputs={0: doomed}, output_level=0, delete_only=True)
+
+
+def make_picker(options: Options) -> CompactionPicker:
+    if options.compaction_style == COMPACTION_LEVELED:
+        return LeveledPicker(options)
+    if options.compaction_style == COMPACTION_UNIVERSAL:
+        return UniversalPicker(options)
+    if options.compaction_style == COMPACTION_FIFO:
+        return FIFOPicker(options)
+    raise ValueError(f"unknown compaction style {options.compaction_style}")

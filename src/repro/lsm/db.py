@@ -1,0 +1,1003 @@
+"""The LSM-KVS database: write path, read path, recovery, and background work.
+
+The structure mirrors Figure 1 of the paper:
+
+- writes append a framed record to the WAL (encryption granularity decided
+  by ``Options.wal_buffer_size``), then land in the active memtable;
+- a full memtable becomes immutable and a background *flush* persists it as
+  a level-0 SST file, after which its WAL is deleted (and, under SHIELD,
+  its DEK retired);
+- background *compaction* (leveled / universal / FIFO) merges SST files;
+  every output file gets fresh crypto from the provider, which is how DEK
+  rotation falls out of compaction for free (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.env.base import Env
+from repro.env.mem import MemEnv
+from repro.errors import (
+    InvalidArgumentError,
+    IOError_,
+    KeyManagementError,
+    NotFoundError,
+)
+from repro.lsm.compaction import CompactionJob, make_picker
+from repro.lsm.dbformat import MAX_SEQUENCE, TYPE_PUT
+from repro.lsm.envelope import MAX_ENVELOPE_SIZE, decode_envelope
+from repro.lsm.filecrypto import CryptoProvider, PlaintextCryptoProvider
+from repro.lsm.envelope import FILE_KIND_SST, FILE_KIND_WAL
+from repro.lsm.filename import (
+    current_path,
+    parse_file_name,
+    sst_path,
+    wal_path,
+)
+from repro.lsm.iterator import merge_entries, newest_visible
+from repro.lsm.memtable import Memtable, make_memtable
+from repro.lsm.options import Options, ReadOptions, WriteOptions
+from repro.lsm.sst import SSTBuilder, SSTReader
+from repro.lsm.version import FileMetadata, VersionEdit, VersionSet
+from repro.lsm.wal import WALWriter, read_wal_records
+from repro.lsm.write_batch import WriteBatch
+from repro.util.lru import LRUCache
+from repro.util.stats import StatsRegistry
+
+_MAX_IMMUTABLE_MEMTABLES = 2
+
+
+class _WriteRequest:
+    """A queued write awaiting group commit."""
+
+    __slots__ = ("batch", "opts", "done", "error")
+
+    def __init__(self, batch: WriteBatch, opts: WriteOptions):
+        self.batch = batch
+        self.opts = opts
+        self.done = False
+        self.error: BaseException | None = None
+
+
+class DB:
+    """An embedded LSM key-value store (RocksDB-like API surface)."""
+
+    def __init__(self, path: str, options: Options | None = None):
+        self.options = options or Options()
+        self.options.validate()
+        self.path = path
+        self.env: Env = self.options.env if self.options.env is not None else MemEnv()
+        self.provider: CryptoProvider = (
+            self.options.crypto_provider
+            if self.options.crypto_provider is not None
+            else PlaintextCryptoProvider()
+        )
+        self.stats = StatsRegistry()
+
+        self._mutex = threading.RLock()
+        self._cond = threading.Condition(self._mutex)
+        self._write_lock = threading.Lock()
+        self._write_queue: list[_WriteRequest] = []
+        self._closed = False
+        self._bg_error: BaseException | None = None
+
+        self._mem: Memtable = make_memtable(self.options.memtable_impl)
+        # (memtable, wal_number, wal_dek_id) awaiting flush, oldest first.
+        self._imm: list[tuple[Memtable, int, str]] = []
+        self._wal: WALWriter | None = None
+        self._wal_number = 0
+        self._wal_dek_id = ""
+
+        self._block_cache = (
+            LRUCache(self.options.block_cache_size)
+            if self.options.block_cache_size > 0
+            else None
+        )
+        self._table_cache: dict[int, SSTReader] = {}
+        self._table_lock = threading.Lock()
+
+        from repro.util.clock import RealClock
+
+        self._clock = self.options.clock or RealClock()
+        self._picker = make_picker(self.options)
+        self._flushing: set[int] = set()  # WAL numbers of imms being flushed
+        self._compacting: set[int] = set()
+        self._compaction_scheduled = False
+        self._bg_jobs = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.options.max_background_jobs,
+            thread_name_prefix="lsm-bg",
+        )
+
+        self.env.mkdirs(path)
+        self._versions = VersionSet(
+            self.env, path, self.provider, self.options.num_levels
+        )
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery / open
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        have_current = self.env.file_exists(current_path(self.path))
+        if have_current:
+            self._versions.recover()
+        elif not self.options.create_if_missing:
+            raise InvalidArgumentError(f"database {self.path} does not exist")
+
+        old_wals = self._find_wal_files()
+        recovered = self._replay_wals(old_wals)
+
+        new_log = self._versions.new_file_number()
+        self._versions.log_number = new_log
+        self._versions.create_manifest()
+        self._open_new_wal(new_log)
+
+        if len(recovered) > 0:
+            info = self._write_sst_from_memtable(recovered)
+            edit = VersionEdit(
+                log_number=new_log, last_sequence=self._versions.last_sequence
+            )
+            edit.add_file(0, info)
+            self._versions.log_and_apply(edit)
+
+        for number, path in old_wals:
+            self._delete_db_file(path)
+        self._garbage_collect_orphans()
+
+    def _find_wal_files(self) -> list[tuple[int, str]]:
+        wals = []
+        for name in self.env.list_dir(self.path):
+            parsed = parse_file_name(name)
+            if parsed and parsed[0] == "wal":
+                number = parsed[1]
+                if number >= self._versions.log_number:
+                    wals.append((number, f"{self.path}/{name}"))
+        return sorted(wals)
+
+    def _replay_wals(self, wals: list[tuple[int, str]]) -> Memtable:
+        mem = make_memtable(self.options.memtable_impl)
+        for __, path in wals:
+            for payload in read_wal_records(self.env, path, self.provider):
+                first_seq, batch = WriteBatch.deserialize(payload)
+                seq = first_seq
+                for vtype, key, value in batch.items():
+                    mem.add(seq, vtype, key, value)
+                    seq += 1
+                self._versions.last_sequence = max(
+                    self._versions.last_sequence, seq - 1
+                )
+        return mem
+
+    def _garbage_collect_orphans(self) -> None:
+        """Remove SST files left behind by a crash mid-flush/compaction."""
+        live = {
+            meta.number for __, meta in self._versions.current.all_files()
+        }
+        for name in self.env.list_dir(self.path):
+            parsed = parse_file_name(name)
+            if parsed and parsed[0] == "sst" and parsed[1] not in live:
+                self._delete_db_file(f"{self.path}/{name}")
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, opts: WriteOptions | None = None) -> None:
+        batch = WriteBatch()
+        batch.put(key, value)
+        self.write(batch, opts)
+
+    def delete(self, key: bytes, opts: WriteOptions | None = None) -> None:
+        batch = WriteBatch()
+        batch.delete(key)
+        self.write(batch, opts)
+
+    def write(self, batch: WriteBatch, opts: WriteOptions | None = None) -> None:
+        """Group-commit write path (RocksDB's pipelined writer, simplified).
+
+        Every writer enqueues its batch; the first writer to take the
+        leader lock commits *all* queued batches as one group -- one WAL
+        pass (and, with encryption, far fewer cipher-context
+        initializations under contention), one memtable pass, one sync if
+        any member asked for one.  Followers find their request completed
+        when they get the lock and return immediately.
+        """
+        if len(batch) == 0:
+            return
+        opts = opts or WriteOptions()
+        request = _WriteRequest(batch, opts)
+        with self._mutex:
+            self._write_queue.append(request)
+        with self._write_lock:
+            if not request.done:
+                self._commit_group_as_leader()
+        if request.error is not None:
+            raise request.error
+
+    def _commit_group_as_leader(self) -> None:
+        """Commit every queued request (leader holds the write lock)."""
+        with self._mutex:
+            group = list(self._write_queue)
+            self._write_queue.clear()
+            if not group:
+                return
+            try:
+                self._check_state()
+                self._maybe_stall_locked()
+                self._check_state()  # may have closed/errored while stalled
+            except BaseException as exc:
+                for request in group:
+                    request.error = exc
+                    request.done = True
+                return
+
+            try:
+                total_ops = 0
+                want_sync = self.options.wal_sync_writes
+                for request in group:
+                    first_seq = self._versions.last_sequence + 1
+                    self._versions.last_sequence += len(request.batch)
+                    if self.options.wal_enabled and not request.opts.disable_wal:
+                        self._wal.add_record(request.batch.serialize(first_seq))
+                        want_sync = want_sync or request.opts.sync
+                    seq = first_seq
+                    for vtype, key, value in request.batch.items():
+                        self._mem.add(seq, vtype, key, value)
+                        seq += 1
+                    total_ops += len(request.batch)
+                if want_sync and self.options.wal_enabled:
+                    self._wal.sync()
+                self.stats.counter("db.writes").add(total_ops)
+                self.stats.counter("db.write_groups").add(1)
+                self.stats.histogram("db.group_size").record(len(group))
+                if self._mem.approximate_size() >= self.options.write_buffer_size:
+                    self._switch_memtable_locked()
+            except BaseException as exc:
+                for request in group:
+                    request.error = exc
+                    request.done = True
+                return
+            for request in group:
+                request.done = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IOError_("database is closed")
+
+    def _check_state(self) -> None:
+        """Write-path gate: a background error poisons writes (reads of
+        already-durable data remain allowed, as in RocksDB)."""
+        self._check_open()
+        if self._bg_error is not None:
+            raise IOError_(f"background error: {self._bg_error!r}")
+
+    def _maybe_stall_locked(self) -> None:
+        """Throttle or block the writer while the engine is too far behind.
+
+        Two regimes, mirroring RocksDB: above the *slowdown* trigger every
+        write pays a small delay; above the *stop* trigger (or with too many
+        immutable memtables) writers block until background work catches up.
+        """
+        import time
+
+        stalled_at = None
+        while not self._closed and (
+            len(self._imm) >= _MAX_IMMUTABLE_MEMTABLES
+            or len(self._versions.current.levels[0])
+            >= self.options.level0_stop_writes_trigger
+        ):
+            if stalled_at is None:
+                stalled_at = time.perf_counter()
+            self._cond.wait(timeout=0.5)
+        if stalled_at is not None:
+            self.stats.histogram("db.stall_seconds").record(
+                time.perf_counter() - stalled_at
+            )
+            return
+        l0_count = len(self._versions.current.levels[0])
+        if (
+            self.options.slowdown_delay_s > 0
+            and l0_count >= self.options.level0_slowdown_writes_trigger
+        ):
+            self.stats.counter("db.slowdown_writes").add(1)
+            # Release the mutex while throttled so background jobs and
+            # readers are not blocked by the penalty sleep.
+            self._mutex.release()
+            try:
+                time.sleep(self.options.slowdown_delay_s)
+            finally:
+                self._mutex.acquire()
+
+    def _open_new_wal(self, number: int) -> None:
+        path = wal_path(self.path, number)
+        crypto = self.provider.for_new_file(FILE_KIND_WAL, path)
+        self._wal = WALWriter(
+            self.env,
+            path,
+            crypto,
+            buffer_size=self.options.wal_buffer_size,
+            sync_writes=self.options.wal_sync_writes,
+        )
+        self._wal_number = number
+        self._wal_dek_id = crypto.dek_id
+
+    def _switch_memtable_locked(self) -> None:
+        self._wal.close()
+        self._imm.append((self._mem, self._wal_number, self._wal_dek_id))
+        self._mem = make_memtable(self.options.memtable_impl)
+        self._open_new_wal(self._versions.new_file_number())
+        self._schedule_bg(self._flush_job)
+
+    # ------------------------------------------------------------------
+    # Background work
+    # ------------------------------------------------------------------
+
+    def _schedule_bg(self, job) -> None:
+        """Submit a background job (mutex held)."""
+        if self._closed:
+            return
+        self._bg_jobs += 1
+        try:
+            self._executor.submit(self._run_bg, job)
+        except RuntimeError:
+            self._bg_jobs -= 1  # executor already shut down
+
+    def _run_bg(self, job) -> None:
+        try:
+            job()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to writers
+            with self._mutex:
+                self._bg_error = exc
+        finally:
+            with self._mutex:
+                self._bg_jobs -= 1
+                self._cond.notify_all()
+
+    def _write_sst_from_memtable(self, mem: Memtable) -> FileMetadata:
+        """Persist a memtable as a level-0 SST file (caller applies edit)."""
+        with self._mutex:
+            number = self._versions.new_file_number()
+        path = sst_path(self.path, number)
+        crypto = self.provider.for_new_file(FILE_KIND_SST, path)
+        builder = SSTBuilder(self.env, path, crypto, self.options)
+        for key, seq, vtype, value in mem.entries():
+            builder.add(key, seq, vtype, value)
+        info = builder.finish()
+        self.stats.counter("db.flush_bytes").add(info.file_size)
+        self.stats.counter("db.flushes").add(1)
+        return FileMetadata(
+            number=number,
+            size=info.file_size,
+            smallest=info.smallest_key,
+            largest=info.largest_key,
+            smallest_seq=info.smallest_seq,
+            largest_seq=info.largest_seq,
+            num_entries=info.num_entries,
+            dek_id=info.dek_id,
+            created_at=self._clock.now(),
+        )
+
+    def _flush_job(self) -> None:
+        # Memtables MUST flush (and install) strictly in creation order:
+        # a newer memtable's SST landing in L0 before an older one's -- with
+        # a compaction in between -- would push newer sequence numbers into
+        # L1 while older data later arrives in L0, breaking the invariant
+        # the read path's L0-first search relies on.  One flush at a time,
+        # oldest first (RocksDB installs parallel flush results in order;
+        # serializing achieves the same guarantee).
+        with self._mutex:
+            if self._flushing or not self._imm:
+                return  # a running flush will reschedule when it finishes
+            target = self._imm[0]
+            mem, wal_number, wal_dek = target
+            self._flushing.add(wal_number)
+        try:
+            meta = self._write_sst_from_memtable(mem)
+            with self._mutex:
+                # WALs older than every still-live memtable's WAL are obsolete.
+                other_logs = [
+                    entry[1] for entry in self._imm if entry[1] != wal_number
+                ]
+                remaining_log = min(other_logs + [self._wal_number])
+                edit = VersionEdit(
+                    log_number=remaining_log,
+                    last_sequence=self._versions.last_sequence,
+                )
+                edit.add_file(0, meta)
+                self._versions.log_and_apply(edit)
+                self._imm.remove(target)
+                self._cond.notify_all()
+        finally:
+            with self._mutex:
+                self._flushing.discard(wal_number)
+                more_flushes = bool(self._imm)
+            if more_flushes:
+                with self._mutex:
+                    self._schedule_bg(self._flush_job)
+        self._delete_db_file(wal_path(self.path, wal_number), dek_id=wal_dek)
+        self._maybe_schedule_compaction()
+
+    def _maybe_schedule_compaction(self) -> None:
+        with self._mutex:
+            if self._compaction_scheduled or self._closed:
+                return
+            if self._picker.pick(self._versions.current, self._compacting) is None:
+                return
+            self._compaction_scheduled = True
+            self._schedule_bg(self._compaction_job)
+
+    def _compaction_job(self) -> None:
+        with self._mutex:
+            self._compaction_scheduled = False
+            job = self._picker.pick(self._versions.current, self._compacting)
+            if job is None:
+                return
+            self._compacting |= job.input_numbers()
+        try:
+            if job.delete_only:
+                self._apply_delete_only(job)
+            else:
+                self._run_merge_compaction(job)
+        finally:
+            with self._mutex:
+                self._compacting -= job.input_numbers()
+                self._cond.notify_all()
+        self._maybe_schedule_compaction()
+
+    def _apply_delete_only(self, job: CompactionJob) -> None:
+        edit = VersionEdit()
+        for level, meta in job.input_files():
+            edit.delete_file(level, meta.number)
+        with self._mutex:
+            self._versions.log_and_apply(edit)
+        for __, meta in job.input_files():
+            self._drop_table(meta)
+        self.stats.counter("db.fifo_expirations").add(len(job.input_files()))
+
+    def _run_merge_compaction(self, job: CompactionJob) -> None:
+        if self.options.compaction_service is not None:
+            outputs = self._merge_via_service(job)
+        else:
+            outputs = self._merge_locally(job)
+
+        edit = VersionEdit()
+        for level, meta in job.input_files():
+            edit.delete_file(level, meta.number)
+        for meta in outputs:
+            edit.add_file(job.output_level, meta)
+        with self._mutex:
+            self._versions.log_and_apply(edit)
+        for __, meta in job.input_files():
+            self._drop_table(meta)
+
+        self.stats.counter("db.compactions").add(1)
+        self.stats.counter("db.compaction_bytes_read").add(job.total_input_bytes())
+        self.stats.counter("db.compaction_bytes_written").add(
+            sum(meta.size for meta in outputs)
+        )
+
+    def _merge_via_service(self, job: CompactionJob) -> list[FileMetadata]:
+        """Ship the merge to an offloaded compaction worker (repro.dist)."""
+        from repro.dist.compaction_service import CompactionRequest
+
+        def allocate_output() -> tuple[int, str]:
+            with self._mutex:
+                number = self._versions.new_file_number()
+            return number, sst_path(self.path, number)
+
+        request = CompactionRequest(
+            input_paths=[
+                sst_path(self.path, meta.number) for __, meta in job.input_files()
+            ],
+            bottommost=job.bottommost,
+            split_outputs=self.options.compaction_style == "leveled",
+            target_file_size=self.options.target_file_size,
+        )
+        results = self.options.compaction_service.compact(request, allocate_output)
+        return [
+            FileMetadata(
+                number=result.file_number,
+                size=result.info.file_size,
+                smallest=result.info.smallest_key,
+                largest=result.info.largest_key,
+                smallest_seq=result.info.smallest_seq,
+                largest_seq=result.info.largest_seq,
+                num_entries=result.info.num_entries,
+                dek_id=result.info.dek_id,
+                created_at=self._clock.now(),
+            )
+            for result in results
+        ]
+
+    def _merge_locally(self, job: CompactionJob) -> list[FileMetadata]:
+        readers = [
+            self._get_reader(meta) for __, meta in job.input_files()
+        ]
+        merged = newest_visible(
+            merge_entries([reader.entries() for reader in readers]),
+            keep_tombstones=not job.bottommost,
+        )
+
+        outputs: list[FileMetadata] = []
+        builder: SSTBuilder | None = None
+        builder_number = 0
+
+        def finish_builder():
+            nonlocal builder
+            if builder is None or builder.num_entries == 0:
+                builder = None
+                return
+            info = builder.finish()
+            outputs.append(
+                FileMetadata(
+                    number=builder_number,
+                    size=info.file_size,
+                    smallest=info.smallest_key,
+                    largest=info.largest_key,
+                    smallest_seq=info.smallest_seq,
+                    largest_seq=info.largest_seq,
+                    num_entries=info.num_entries,
+                    dek_id=info.dek_id,
+                    created_at=self._clock.now(),
+                )
+            )
+            builder = None
+
+        split_outputs = self.options.compaction_style == "leveled"
+        for key, seq, vtype, value in merged:
+            if builder is None:
+                with self._mutex:
+                    builder_number = self._versions.new_file_number()
+                out_path = sst_path(self.path, builder_number)
+                crypto = self.provider.for_new_file(FILE_KIND_SST, out_path)
+                builder = SSTBuilder(self.env, out_path, crypto, self.options)
+            builder.add(key, seq, vtype, value)
+            if (
+                split_outputs
+                and builder.estimated_size() >= self.options.target_file_size
+            ):
+                finish_builder()
+        finish_builder()
+        return outputs
+
+    # ------------------------------------------------------------------
+    # File/table management
+    # ------------------------------------------------------------------
+
+    def _get_reader(self, meta: FileMetadata) -> SSTReader:
+        with self._table_lock:
+            reader = self._table_cache.get(meta.number)
+            if reader is not None:
+                return reader
+        reader = SSTReader(
+            self.env,
+            sst_path(self.path, meta.number),
+            self.provider,
+            self.options,
+            block_cache=self._block_cache,
+        )
+        with self._table_lock:
+            return self._table_cache.setdefault(meta.number, reader)
+
+    def _drop_table(self, meta: FileMetadata) -> None:
+        """Forget a dead SST file: evict the reader, unlink, retire its DEK."""
+        with self._table_lock:
+            # The reader object is dropped without close(): concurrent point
+            # reads holding it keep working (POSIX unlink semantics).
+            self._table_cache.pop(meta.number, None)
+        self._delete_db_file(sst_path(self.path, meta.number), dek_id=meta.dek_id)
+
+    def _delete_db_file(self, path: str, dek_id: str | None = None) -> None:
+        if dek_id is None:
+            dek_id = ""
+            try:
+                head = self.env.read_file(path)[:MAX_ENVELOPE_SIZE]
+                dek_id = decode_envelope(head).dek_id
+            except Exception:  # noqa: BLE001 - unreadable orphan; remove anyway
+                pass
+        self.env.delete_file(path)
+        self.provider.on_file_deleted(dek_id, path)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes, opts: ReadOptions | None = None) -> bytes | None:
+        opts = opts or ReadOptions()
+        snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
+        self.stats.counter("db.gets").add(1)
+        # Version snapshots carry no file refcounts; a concurrent compaction
+        # may unlink a file we are about to open, or retire its DEK from the
+        # KDS.  Retrying with a fresh version is always correct: the data
+        # moved, it didn't disappear.
+        for _attempt in range(8):
+            try:
+                return self._get_once(key, snapshot)
+            except (IOError_, NotFoundError, KeyManagementError):
+                continue
+        return self._get_once(key, snapshot)
+
+    def _get_once(self, key: bytes, snapshot: int) -> bytes | None:
+        with self._mutex:
+            self._check_open()
+            mem = self._mem
+            immutables = [entry[0] for entry in reversed(self._imm)]
+            version = self._versions.current
+
+        result = mem.get(key, snapshot)
+        if result is None:
+            for imm in immutables:
+                result = imm.get(key, snapshot)
+                if result is not None:
+                    break
+        if result is None:
+            for __, meta in version.candidates_for_key(key):
+                if meta.smallest_seq > snapshot:
+                    continue
+                result = self._get_reader(meta).get(key, snapshot)
+                if result is not None:
+                    break
+        if result is None:
+            return None
+        vtype, value = result
+        return value if vtype == TYPE_PUT else None
+
+    def multi_get(
+        self, keys: list[bytes], opts: ReadOptions | None = None
+    ) -> dict[bytes, bytes | None]:
+        """Batched point lookups (RocksDB's MultiGet).
+
+        Keys are sorted before probing so SST block loads are shared by
+        neighbouring keys through the block cache within one call.
+        """
+        opts = opts or ReadOptions()
+        snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
+        results: dict[bytes, bytes | None] = {}
+        for key in sorted(set(keys)):
+            for _attempt in range(8):
+                try:
+                    results[key] = self._get_once(key, snapshot)
+                    break
+                except (IOError_, NotFoundError, KeyManagementError):
+                    continue
+            else:
+                results[key] = self._get_once(key, snapshot)
+        self.stats.counter("db.multigets").add(1)
+        return results
+
+    def scan(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        limit: int | None = None,
+        opts: ReadOptions | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Range scan: [start, end) up to ``limit`` pairs."""
+        opts = opts or ReadOptions()
+        snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
+        for _attempt in range(8):
+            try:
+                return self._scan_once(start, end, limit, snapshot)
+            except (IOError_, NotFoundError, KeyManagementError):
+                continue
+        return self._scan_once(start, end, limit, snapshot)
+
+    def _scan_once(
+        self,
+        start: bytes,
+        end: bytes | None,
+        limit: int | None,
+        snapshot: int,
+    ) -> list[tuple[bytes, bytes]]:
+        with self._mutex:
+            self._check_open()
+            sources = [self._mem.entries()]
+            sources.extend(entry[0].entries() for entry in self._imm)
+            version = self._versions.current
+        for __, meta in version.all_files():
+            if end is not None and meta.smallest >= end:
+                continue
+            if meta.largest < start:
+                continue
+            sources.append(self._get_reader(meta).entries_from(start))
+
+        results: list[tuple[bytes, bytes]] = []
+        merged = newest_visible(merge_entries(sources), snapshot_seq=snapshot)
+        for key, __, vtype, value in merged:
+            if key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            results.append((key, value))
+            if limit is not None and len(results) >= limit:
+                break
+        self.stats.counter("db.scans").add(1)
+        return results
+
+    def delete_range(
+        self, start: bytes, end: bytes, opts: WriteOptions | None = None
+    ) -> int:
+        """Delete every key in [start, end); returns the number deleted.
+
+        Implemented as scan + batched tombstones (no range-tombstone record
+        type), which is atomic per batch and adequate at this engine's
+        scale.
+        """
+        doomed = [key for key, __ in self.scan(start, end)]
+        batch = WriteBatch()
+        for key in doomed:
+            batch.delete(key)
+        self.write(batch, opts)
+        return len(doomed)
+
+    def approximate_size(self, start: bytes = b"", end: bytes | None = None) -> int:
+        """Approximate on-storage bytes attributable to [start, end):
+        the summed size of every SST file overlapping the range."""
+        with self._mutex:
+            return sum(
+                meta.size
+                for __, meta in self._versions.current.all_files()
+                if meta.overlaps(start, end)
+            )
+
+    def iterator(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        opts: ReadOptions | None = None,
+    ):
+        """A streaming forward cursor over [start, end).
+
+        Yields (key, value) pairs lazily.  The cursor reads a consistent
+        snapshot of the sources captured at creation; files compacted away
+        mid-iteration keep serving through their open readers (POSIX unlink
+        semantics), so iteration never sees torn state.  Writes made after
+        creation may or may not be visible; pass ``opts.snapshot`` for an
+        exact cutoff.
+        """
+        opts = opts or ReadOptions()
+        snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
+        with self._mutex:
+            self._check_open()
+            sources = [self._mem.entries()]
+            sources.extend(entry[0].entries() for entry in self._imm)
+            version = self._versions.current
+            readers = []
+            for __, meta in version.all_files():
+                if end is not None and meta.smallest >= end:
+                    continue
+                if meta.largest < start:
+                    continue
+                readers.append(self._get_reader(meta))
+        sources.extend(reader.entries_from(start) for reader in readers)
+
+        def generate():
+            merged = newest_visible(merge_entries(sources), snapshot_seq=snapshot)
+            for key, __, ___, value in merged:
+                if key < start:
+                    continue
+                if end is not None and key >= end:
+                    return
+                yield (key, value)
+
+        return generate()
+
+    def stats_string(self) -> str:
+        """A human-readable engine status dump (RocksDB's GetProperty
+        'rocksdb.stats' analogue): per-level shape plus headline counters."""
+        with self._mutex:
+            lines = [f"== DB stats: {self.path} =="]
+            lines.append(
+                f"{'level':>6s} {'files':>6s} {'bytes':>12s}"
+            )
+            for level, files in enumerate(self._versions.current.levels):
+                if not files and level > 1:
+                    continue
+                size = sum(meta.size for meta in files)
+                lines.append(f"{level:6d} {len(files):6d} {size:12,d}")
+            lines.append(
+                f"immutable memtables: {len(self._imm)}  "
+                f"memtable bytes: {self._mem.approximate_size():,}"
+            )
+            lines.append(f"last sequence: {self._versions.last_sequence}")
+        snap = self.stats.snapshot()
+        for name in (
+            "db.writes", "db.gets", "db.flushes", "db.compactions",
+            "db.compaction_bytes_read", "db.compaction_bytes_written",
+            "db.write_groups", "db.slowdown_writes",
+        ):
+            if name in snap:
+                lines.append(f"{name}: {snap[name]:,.0f}")
+        if self._block_cache is not None:
+            lines.append(
+                f"block cache: {self._block_cache.usage:,}B used, "
+                f"{self._block_cache.hits} hits / {self._block_cache.misses} misses"
+            )
+        return "\n".join(lines)
+
+    def snapshot(self) -> int:
+        """A sequence number usable as ReadOptions.snapshot.
+
+        Note: background compaction keeps only the newest version of each
+        key, so snapshots are best-effort once compaction touches the range
+        (documented engine simplification).
+        """
+        with self._mutex:
+            return self._versions.last_sequence
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def flush(self, wait: bool = True) -> None:
+        """Force the active memtable (and WAL buffer) to persistent SSTs."""
+        with self._mutex:
+            self._check_state()
+            self._wal.flush_buffer()
+            if len(self._mem) > 0:
+                self._maybe_stall_locked()
+                self._switch_memtable_locked()
+            if wait:
+                while self._imm and self._bg_error is None and not self._closed:
+                    self._cond.wait(timeout=0.5)
+        if self._bg_error is not None:
+            raise IOError_(f"background error: {self._bg_error!r}")
+
+    def wait_for_compaction(self) -> None:
+        """Block until no compaction work is pending or running."""
+        self._maybe_schedule_compaction()
+        with self._mutex:
+            while (
+                self._compaction_scheduled or self._compacting or self._bg_jobs
+            ) and self._bg_error is None:
+                self._cond.wait(timeout=0.5)
+
+    def compact_range(self) -> None:
+        """Flush, then drive compaction until the tree is quiescent."""
+        self.flush()
+        self.wait_for_compaction()
+
+    def force_compaction(self) -> None:
+        """Manual major compaction: merge every live SST file into one run.
+
+        Regardless of the picker's triggers, all files merge to the
+        bottommost level (level 0 for universal/FIFO trees).  Under SHIELD
+        this rotates every SST DEK in one pass -- the operational response
+        the paper prescribes for a suspected DEK compromise (Section 5.5).
+        """
+        self.flush()
+        self.wait_for_compaction()
+        with self._mutex:
+            files = self._versions.current.all_files()
+            if not files:
+                return
+            inputs: dict[int, list[FileMetadata]] = {}
+            for level, meta in files:
+                inputs.setdefault(level, []).append(meta)
+            output_level = (
+                self.options.num_levels - 1
+                if self.options.compaction_style == "leveled"
+                else 0
+            )
+            job = CompactionJob(
+                inputs=inputs, output_level=output_level, bottommost=True
+            )
+            self._compacting |= job.input_numbers()
+        try:
+            self._run_merge_compaction(job)
+        finally:
+            with self._mutex:
+                self._compacting -= job.input_numbers()
+                self._cond.notify_all()
+
+    def checkpoint(self, dest_path: str) -> None:
+        """Create an openable, consistent copy of the database.
+
+        Flushes first, then copies CURRENT, the MANIFEST, and every live
+        SST file to ``dest_path`` on the same Env.  Under SHIELD the copy's
+        files keep their DEK-IDs, so any authorized server can open the
+        checkpoint by resolving them through the KDS -- file-level sharing
+        exactly as in the read-only-instance mechanism.
+        """
+        self.flush()
+        self.env.mkdirs(dest_path)
+        with self._mutex:
+            self._check_state()
+            live = [meta.number for __, meta in self._versions.current.all_files()]
+            manifest_name = (
+                self.env.read_file(current_path(self.path)).decode().strip()
+            )
+        for number in live:
+            name = f"{number:06d}.sst"
+            self.env.write_file(
+                f"{dest_path}/{name}", self.env.read_file(f"{self.path}/{name}")
+            )
+        self.env.write_file(
+            f"{dest_path}/{manifest_name}",
+            self.env.read_file(f"{self.path}/{manifest_name}"),
+        )
+        self.env.write_file(
+            current_path(dest_path), (manifest_name + "\n").encode()
+        )
+        self.stats.counter("db.checkpoints").add(1)
+
+    def get_property(self, name: str):
+        """RocksDB-style introspection properties.
+
+        Supported: ``repro.num-files-at-level<N>``, ``repro.total-sst-size``,
+        ``repro.num-live-files``, ``repro.last-sequence``,
+        ``repro.immutable-memtables``, ``repro.block-cache-usage``,
+        ``repro.stats`` (the full counter snapshot dict).
+        """
+        if name.startswith("repro.num-files-at-level"):
+            return self.num_files_at_level(int(name.rsplit("level", 1)[1]))
+        with self._mutex:
+            if name == "repro.total-sst-size":
+                return self._versions.current.total_size()
+            if name == "repro.num-live-files":
+                return self._versions.current.num_files()
+            if name == "repro.last-sequence":
+                return self._versions.last_sequence
+            if name == "repro.immutable-memtables":
+                return len(self._imm)
+        if name == "repro.block-cache-usage":
+            return self._block_cache.usage if self._block_cache else 0
+        if name == "repro.stats":
+            return self.stats.snapshot()
+        raise InvalidArgumentError(f"unknown property {name!r}")
+
+    def num_files_at_level(self, level: int) -> int:
+        with self._mutex:
+            return len(self._versions.current.levels[level])
+
+    def level_sizes(self) -> list[int]:
+        with self._mutex:
+            return [
+                self._versions.current.level_size(level)
+                for level in range(self.options.num_levels)
+            ]
+
+    def live_files(self) -> list[tuple[int, FileMetadata]]:
+        with self._mutex:
+            return self._versions.current.all_files()
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._executor.shutdown(wait=True)
+        with self._mutex:
+            if self._wal is not None:
+                self._wal.close()
+            self._versions.close()
+        with self._table_lock:
+            for reader in self._table_cache.values():
+                reader.close()
+            self._table_cache.clear()
+
+    def simulate_crash(self) -> None:
+        """Kill the process abruptly: in-flight buffers are abandoned.
+
+        The WAL's application buffer (SHIELD's optimization) is dropped
+        un-persisted; the OS keeps whatever was appended.  Reopen the same
+        path to exercise recovery; call ``env.crash_system()`` first to also
+        lose unsynced OS buffers.
+        """
+        with self._mutex:
+            self._closed = True
+            self._cond.notify_all()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._wal is not None:
+            self._wal.simulate_process_crash()
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

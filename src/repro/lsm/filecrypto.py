@@ -1,0 +1,128 @@
+"""The encryption seam between the LSM engine and the crypto substrate.
+
+A :class:`FileCrypto` handles exactly one file's payload.  Each
+``encrypt``/``decrypt`` call constructs a fresh cipher context from the
+(key, nonce) pair -- deliberately mirroring how OpenSSL EVP contexts are
+re-initialized per operation, which is the repeated "encryption
+initialization" cost the paper identifies as the WAL bottleneck
+(Section 3.2).  It also makes FileCrypto stateless and therefore safe for
+SHIELD's multi-threaded chunk encryption.
+
+A :class:`CryptoProvider` decides the policy:
+
+- :class:`PlaintextCryptoProvider` -- no encryption (baseline RocksDB).
+- :class:`SingleKeyCryptoProvider` -- one instance-wide DEK (used inside
+  EncFS and as the paper's "single DEK" strawman).
+- ``repro.shield.ShieldCryptoProvider`` -- per-file DEKs from a KDS with
+  rotation and secure caching.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cipher import (
+    SCHEME_NONE,
+    create_cipher,
+    generate_nonce,
+    spec_for,
+)
+from repro.errors import EncryptionError
+from repro.lsm.envelope import Envelope
+
+
+class FileCrypto:
+    """Per-file payload encryption; offset 0 is the first payload byte."""
+
+    def __init__(self, scheme_id: int, dek_id: str, key: bytes, nonce: bytes):
+        self.scheme_id = scheme_id
+        self.dek_id = dek_id
+        self._key = key
+        self.nonce = nonce
+
+    @property
+    def encrypted(self) -> bool:
+        return self.scheme_id != SCHEME_NONE
+
+    def encrypt(self, data: bytes, offset: int) -> bytes:
+        if not self.encrypted or not data:
+            return data
+        context = create_cipher(self.scheme_id, self._key, self.nonce)
+        return context.xor_at(data, offset)
+
+    decrypt = encrypt  # CTR-style stream ciphers are involutions
+
+    def envelope(self, file_kind: int) -> Envelope:
+        return Envelope(
+            file_kind=file_kind,
+            scheme_id=self.scheme_id,
+            dek_id=self.dek_id,
+            nonce=self.nonce,
+        )
+
+
+#: Shared no-op crypto for plaintext files.
+NULL_CRYPTO = FileCrypto(SCHEME_NONE, "", b"", b"")
+
+
+class CryptoProvider:
+    """Decides how each engine file is encrypted and how DEKs are resolved."""
+
+    def for_new_file(self, file_kind: int, path: str) -> FileCrypto:
+        """Crypto for a file about to be created."""
+        raise NotImplementedError
+
+    def for_existing_file(self, envelope: Envelope, path: str) -> FileCrypto:
+        """Crypto for a file being opened; resolves the envelope's DEK-ID."""
+        raise NotImplementedError
+
+    def on_file_deleted(self, envelope_dek_id: str, path: str) -> None:
+        """Called when a file is destroyed (lets providers retire DEKs)."""
+
+
+class PlaintextCryptoProvider(CryptoProvider):
+    """No encryption anywhere: the unencrypted-RocksDB baseline."""
+
+    def for_new_file(self, file_kind: int, path: str) -> FileCrypto:
+        return NULL_CRYPTO
+
+    def for_existing_file(self, envelope: Envelope, path: str) -> FileCrypto:
+        if envelope.encrypted:
+            raise EncryptionError(
+                f"{path} is encrypted (scheme {envelope.scheme_id}) but the "
+                "database was opened without a crypto provider"
+            )
+        return NULL_CRYPTO
+
+
+class SingleKeyCryptoProvider(CryptoProvider):
+    """One DEK for every file, fresh nonce per file.
+
+    This is the instance-level design's key policy (Section 4): simple and
+    transparent, but a DEK compromise exposes the entire store and rotation
+    means re-encrypting everything.
+    """
+
+    def __init__(self, scheme: str, key: bytes, dek_id: str = "instance-dek"):
+        spec = spec_for(scheme)
+        if len(key) != spec.key_size:
+            raise EncryptionError(
+                f"{scheme} needs a {spec.key_size}-byte key, got {len(key)}"
+            )
+        self.scheme = scheme
+        self._scheme_id = spec.scheme_id
+        self._key = key
+        self.dek_id = dek_id
+
+    def for_new_file(self, file_kind: int, path: str) -> FileCrypto:
+        return FileCrypto(
+            self._scheme_id, self.dek_id, self._key, generate_nonce(self.scheme)
+        )
+
+    def for_existing_file(self, envelope: Envelope, path: str) -> FileCrypto:
+        if not envelope.encrypted:
+            return NULL_CRYPTO
+        if envelope.scheme_id != self._scheme_id:
+            raise EncryptionError(
+                f"{path} uses scheme {envelope.scheme_id}, provider has "
+                f"{self._scheme_id}"
+            )
+        return FileCrypto(self._scheme_id, envelope.dek_id, self._key, envelope.nonce)

@@ -1,0 +1,41 @@
+"""Database file naming (mirrors RocksDB's layout)."""
+
+from __future__ import annotations
+
+import re
+
+_SST_RE = re.compile(r"^(\d{6})\.sst$")
+_WAL_RE = re.compile(r"^(\d{6})\.log$")
+_MANIFEST_RE = re.compile(r"^MANIFEST-(\d{6})$")
+
+
+def sst_path(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.sst"
+
+
+def wal_path(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.log"
+
+
+def manifest_path(dbname: str, number: int) -> str:
+    return f"{dbname}/MANIFEST-{number:06d}"
+
+
+def current_path(dbname: str) -> str:
+    return f"{dbname}/CURRENT"
+
+
+def parse_file_name(name: str) -> tuple[str, int] | None:
+    """Classify a directory entry: returns (kind, number) or None."""
+    match = _SST_RE.match(name)
+    if match:
+        return ("sst", int(match.group(1)))
+    match = _WAL_RE.match(name)
+    if match:
+        return ("wal", int(match.group(1)))
+    match = _MANIFEST_RE.match(name)
+    if match:
+        return ("manifest", int(match.group(1)))
+    if name == "CURRENT":
+        return ("current", 0)
+    return None

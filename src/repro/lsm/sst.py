@@ -1,0 +1,330 @@
+"""Sorted String Table files: builder and reader.
+
+Payload layout (everything after the plaintext envelope, and everything
+that gets encrypted)::
+
+    data blocks ...
+    bloom filter block
+    index block       count varint, then per block:
+                      last_key lp | offset varint | size varint | crc fixed32
+    properties block  count varint, then (key lp, value lp) pairs
+    footer (56 bytes) index_off f64 | index_sz f64 | bloom_off f64 |
+                      bloom_sz f64 | props_off f64 | props_sz f64 | magic f64
+
+Offsets are payload-relative so CTR decryption of any block needs only the
+envelope's nonce and the block's position.  The properties block repeats
+the DEK-ID (`shield.dek_id`): SST metadata is read before data blocks, so a
+remote server doing offloaded compaction learns which DEK to request before
+touching any data (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.env.base import Env
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.lsm.block import (
+    Entry,
+    decode_block,
+    encode_entry,
+    search_block,
+    unwrap_block,
+    wrap_block,
+)
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.chunked import encrypt_chunked
+from repro.lsm.dbformat import MAX_SEQUENCE
+from repro.lsm.envelope import (
+    FILE_KIND_SST,
+    MAX_ENVELOPE_SIZE,
+    decode_envelope,
+)
+from repro.lsm.filecrypto import CryptoProvider, FileCrypto
+from repro.lsm.options import Options
+from repro.util.checksum import masked_crc32
+from repro.util.coding import (
+    decode_fixed32,
+    decode_fixed64,
+    decode_length_prefixed,
+    decode_varint64,
+    encode_fixed32,
+    encode_fixed64,
+    encode_length_prefixed,
+    encode_varint64,
+)
+from repro.util.lru import LRUCache
+
+FOOTER_SIZE = 56
+SST_MAGIC = 0x5354_4C44_4549_4853  # "SHIELDLS" as little-endian-ish tag
+
+
+@dataclass
+class SSTFileInfo:
+    """Everything the version set needs to know about a finished SST file."""
+
+    path: str
+    file_size: int
+    num_entries: int
+    smallest_key: bytes
+    largest_key: bytes
+    smallest_seq: int
+    largest_seq: int
+    dek_id: str
+
+
+class SSTBuilder:
+    """Builds one SST file from entries added in internal-key order."""
+
+    def __init__(self, env: Env, path: str, crypto: FileCrypto, options: Options):
+        self._env = env
+        self.path = path
+        self._crypto = crypto
+        self._options = options
+        self._blocks: list[bytes] = []
+        self._index: list[tuple[bytes, int, int, int]] = []  # key, off, sz, crc
+        self._current = bytearray()
+        self._payload_bytes = 0
+        self._keys: list[bytes] = []
+        self._last_added: tuple[bytes, int] | None = None
+        self._smallest_key: bytes | None = None
+        self._largest_key: bytes | None = None
+        self._smallest_seq = MAX_SEQUENCE
+        self._largest_seq = 0
+        self._last_key_in_block: bytes = b""
+        self.num_entries = 0
+        self._finished = False
+
+    def add(self, key: bytes, seq: int, vtype: int, value: bytes) -> None:
+        order = (key, MAX_SEQUENCE - seq)
+        if self._last_added is not None and order <= self._last_added:
+            raise InvalidArgumentError("SST entries must be added in order")
+        self._last_added = order
+        self._current.extend(encode_entry(key, seq, vtype, value))
+        self._last_key_in_block = key
+        if not self._keys or self._keys[-1] != key:
+            self._keys.append(key)
+        if self._smallest_key is None:
+            self._smallest_key = key
+        self._largest_key = key
+        self._smallest_seq = min(self._smallest_seq, seq)
+        self._largest_seq = max(self._largest_seq, seq)
+        self.num_entries += 1
+        if len(self._current) >= self._options.block_size:
+            self._finish_block()
+
+    def _finish_block(self) -> None:
+        if not self._current:
+            return
+        block = wrap_block(bytes(self._current), self._options.compression)
+        self._current.clear()
+        self._index.append(
+            (self._last_key_in_block, self._payload_bytes, len(block),
+             masked_crc32(block))
+        )
+        self._blocks.append(block)
+        self._payload_bytes += len(block)
+
+    def estimated_size(self) -> int:
+        return self._payload_bytes + len(self._current)
+
+    def finish(self) -> SSTFileInfo:
+        """Assemble, encrypt, and persist the file; return its metadata."""
+        if self._finished:
+            raise InvalidArgumentError("SSTBuilder.finish called twice")
+        if self.num_entries == 0:
+            raise InvalidArgumentError("cannot finish an empty SST file")
+        self._finished = True
+        self._finish_block()
+
+        bloom = BloomFilter.build(self._keys, self._options.bloom_bits_per_key)
+        bloom_block = bloom.encode()
+        bloom_offset = self._payload_bytes
+
+        index_parts = [encode_varint64(len(self._index))]
+        for last_key, offset, size, crc in self._index:
+            index_parts.append(encode_length_prefixed(last_key))
+            index_parts.append(encode_varint64(offset))
+            index_parts.append(encode_varint64(size))
+            index_parts.append(encode_fixed32(crc))
+        index_block = b"".join(index_parts)
+        index_offset = bloom_offset + len(bloom_block)
+
+        properties = {
+            "num_entries": str(self.num_entries),
+            "smallest_key": self._smallest_key.hex(),
+            "largest_key": self._largest_key.hex(),
+            "compression": self._options.compression,
+            "shield.dek_id": self._crypto.dek_id,
+            "shield.scheme_id": str(self._crypto.scheme_id),
+        }
+        props_parts = [encode_varint64(len(properties))]
+        for prop_key in sorted(properties):
+            props_parts.append(encode_length_prefixed(prop_key.encode()))
+            props_parts.append(encode_length_prefixed(properties[prop_key].encode()))
+        props_block = b"".join(props_parts)
+        props_offset = index_offset + len(index_block)
+
+        footer = (
+            encode_fixed64(index_offset)
+            + encode_fixed64(len(index_block))
+            + encode_fixed64(bloom_offset)
+            + encode_fixed64(len(bloom_block))
+            + encode_fixed64(props_offset)
+            + encode_fixed64(len(props_block))
+            + encode_fixed64(SST_MAGIC)
+        )
+        payload = b"".join(self._blocks) + bloom_block + index_block \
+            + props_block + footer
+
+        encrypted = encrypt_chunked(
+            self._crypto,
+            payload,
+            self._options.encryption_chunk_size,
+            self._options.encryption_threads,
+        )
+        header = self._crypto.envelope(FILE_KIND_SST).encode()
+        with self._env.new_writable_file(self.path) as handle:
+            handle.append(header)
+            handle.append(encrypted)
+            handle.sync()
+        return SSTFileInfo(
+            path=self.path,
+            file_size=len(header) + len(encrypted),
+            num_entries=self.num_entries,
+            smallest_key=self._smallest_key,
+            largest_key=self._largest_key,
+            smallest_seq=self._smallest_seq,
+            largest_seq=self._largest_seq,
+            dek_id=self._crypto.dek_id,
+        )
+
+
+class SSTReader:
+    """Random-access reads over one SST file (bloom + index + block cache)."""
+
+    def __init__(
+        self,
+        env: Env,
+        path: str,
+        provider: CryptoProvider,
+        options: Options,
+        block_cache: LRUCache | None = None,
+    ):
+        self.path = path
+        self._options = options
+        self._cache = block_cache
+        self._file = env.new_random_access_file(path)
+        file_size = self._file.size()
+
+        head = self._file.read(0, min(MAX_ENVELOPE_SIZE, file_size))
+        self.envelope = decode_envelope(head)
+        self._crypto = provider.for_existing_file(self.envelope, path)
+        self._payload_base = self.envelope.header_size
+        payload_size = file_size - self._payload_base
+        if payload_size < FOOTER_SIZE:
+            raise CorruptionError(f"{path}: file too small for an SST footer")
+
+        footer_offset = payload_size - FOOTER_SIZE
+        footer = self._read_payload(footer_offset, FOOTER_SIZE)
+        index_offset, pos = decode_fixed64(footer, 0)
+        index_size, pos = decode_fixed64(footer, pos)
+        bloom_offset, pos = decode_fixed64(footer, pos)
+        bloom_size, pos = decode_fixed64(footer, pos)
+        props_offset, pos = decode_fixed64(footer, pos)
+        props_size, pos = decode_fixed64(footer, pos)
+        magic, pos = decode_fixed64(footer, pos)
+        if magic != SST_MAGIC:
+            raise CorruptionError(f"{path}: bad SST magic (wrong key or corrupt)")
+
+        self._index = self._parse_index(self._read_payload(index_offset, index_size))
+        self._index_keys = [entry[0] for entry in self._index]
+        self.bloom = BloomFilter.decode(self._read_payload(bloom_offset, bloom_size))
+        self.properties = self._parse_props(
+            self._read_payload(props_offset, props_size)
+        )
+        try:
+            self.num_entries = int(self.properties.get("num_entries", "0"))
+        except ValueError as exc:
+            raise CorruptionError(f"{path}: corrupt num_entries property: {exc}")
+
+    def _read_payload(self, offset: int, length: int) -> bytes:
+        raw = self._file.read(self._payload_base + offset, length)
+        if len(raw) != length:
+            raise CorruptionError(f"{self.path}: short read at {offset}")
+        return self._crypto.decrypt(raw, offset)
+
+    def _parse_index(self, buf: bytes) -> list[tuple[bytes, int, int, int]]:
+        try:
+            count, offset = decode_varint64(buf, 0)
+            index = []
+            for _ in range(count):
+                last_key, offset = decode_length_prefixed(buf, offset)
+                block_offset, offset = decode_varint64(buf, offset)
+                block_size, offset = decode_varint64(buf, offset)
+                crc, offset = decode_fixed32(buf, offset)
+                index.append((last_key, block_offset, block_size, crc))
+            return index
+        except CorruptionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any parse slip is corruption
+            raise CorruptionError(f"{self.path}: corrupt index block: {exc}")
+
+    def _parse_props(self, buf: bytes) -> dict[str, str]:
+        try:
+            count, offset = decode_varint64(buf, 0)
+            props = {}
+            for _ in range(count):
+                key, offset = decode_length_prefixed(buf, offset)
+                value, offset = decode_length_prefixed(buf, offset)
+                props[key.decode()] = value.decode()
+            return props
+        except CorruptionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any parse slip is corruption
+            raise CorruptionError(f"{self.path}: corrupt properties block: {exc}")
+
+    @property
+    def dek_id(self) -> str:
+        return self.envelope.dek_id
+
+    def _load_block(self, block_index: int) -> list[Entry]:
+        __, offset, size, crc = self._index[block_index]
+        cache_key = (self.path, offset)
+        if self._cache is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
+        raw = self._read_payload(offset, size)
+        if self._options.verify_checksums and masked_crc32(raw) != crc:
+            raise CorruptionError(f"{self.path}: block checksum mismatch at {offset}")
+        entries = decode_block(unwrap_block(raw))
+        if self._cache is not None:
+            self._cache.put(cache_key, entries, charge=size)
+        return entries
+
+    def get(self, key: bytes, max_seq: int = MAX_SEQUENCE):
+        """Point lookup: (vtype, value) of the newest visible version, or None."""
+        if not self.bloom.may_contain(key):
+            return None
+        block_index = bisect.bisect_left(self._index_keys, key)
+        if block_index >= len(self._index):
+            return None
+        return search_block(self._load_block(block_index), key, max_seq)
+
+    def entries(self):
+        """Yield every entry in order (compaction / full scans)."""
+        for block_index in range(len(self._index)):
+            yield from self._load_block(block_index)
+
+    def entries_from(self, start_key: bytes):
+        """Yield entries with key >= start_key (range scans)."""
+        block_index = bisect.bisect_left(self._index_keys, start_key)
+        for index in range(block_index, len(self._index)):
+            for entry in self._load_block(index):
+                if entry[0] >= start_key:
+                    yield entry
+
+    def close(self) -> None:
+        self._file.close()

@@ -1,0 +1,68 @@
+"""ShieldOptions and the one-call constructor for a SHIELD-protected DB."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.keys.cache import SecureDEKCache
+from repro.keys.client import KeyClient
+from repro.keys.kds import KeyDistributionService
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.shield.provider import ShieldCryptoProvider
+
+# Paper default: a 512-byte application-managed WAL buffer (Section 5.3).
+DEFAULT_WAL_BUFFER = 512
+
+
+@dataclass
+class ShieldOptions:
+    """Everything SHIELD adds on top of plain engine Options."""
+
+    kds: KeyDistributionService
+    server_id: str = "server-1"
+    scheme: str = "shake-ctr"
+    dek_cache: Optional[SecureDEKCache] = None
+    wal_buffer_size: int = DEFAULT_WAL_BUFFER
+    encryption_chunk_size: int = 64 * 1024
+    encryption_threads: int = 1
+    encrypt_wal: bool = True
+    encrypt_sst: bool = True
+    encrypt_manifest: bool = True
+
+    def build_key_client(self) -> KeyClient:
+        return KeyClient(
+            self.kds,
+            self.server_id,
+            cache=self.dek_cache,
+            default_scheme=self.scheme,
+        )
+
+    def build_provider(self) -> ShieldCryptoProvider:
+        return ShieldCryptoProvider(
+            self.build_key_client(),
+            scheme=self.scheme,
+            encrypt_wal=self.encrypt_wal,
+            encrypt_sst=self.encrypt_sst,
+            encrypt_manifest=self.encrypt_manifest,
+        )
+
+
+def open_shield_db(
+    path: str,
+    shield: ShieldOptions,
+    base_options: Options | None = None,
+) -> DB:
+    """Open a DB with SHIELD encryption embedded in its write path.
+
+    The returned DB's ``provider`` attribute is the
+    :class:`ShieldCryptoProvider`, exposing DEK provisioning/retirement
+    counters for inspection.
+    """
+    options = replace(base_options) if base_options is not None else Options()
+    options.crypto_provider = shield.build_provider()
+    options.wal_buffer_size = shield.wal_buffer_size
+    options.encryption_chunk_size = shield.encryption_chunk_size
+    options.encryption_threads = shield.encryption_threads
+    return DB(path, options)

@@ -1,0 +1,61 @@
+"""Inspection helpers: which DEK protects which file, and rotation audits.
+
+Used by the key-rotation example, the security-property tests, and anyone
+operating a SHIELD deployment who needs to answer "which files would a
+compromise of DEK X expose?" (answer, by construction: exactly one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.db import DB
+
+
+@dataclass(frozen=True)
+class FileDEKRecord:
+    level: int
+    file_number: int
+    dek_id: str
+    size: int
+
+
+def dek_inventory(db: DB) -> list[FileDEKRecord]:
+    """List every live SST file with the DEK that encrypts it."""
+    return [
+        FileDEKRecord(
+            level=level,
+            file_number=meta.number,
+            dek_id=meta.dek_id,
+            size=meta.size,
+        )
+        for level, meta in db.live_files()
+    ]
+
+
+@dataclass
+class RotationReport:
+    """Before/after view of a compaction's effect on DEKs."""
+
+    before_dek_ids: set[str]
+    after_dek_ids: set[str]
+
+    @property
+    def rotated_out(self) -> set[str]:
+        return self.before_dek_ids - self.after_dek_ids
+
+    @property
+    def fresh(self) -> set[str]:
+        return self.after_dek_ids - self.before_dek_ids
+
+    @property
+    def fully_rotated(self) -> bool:
+        """True when no pre-compaction DEK survived."""
+        return not (self.before_dek_ids & self.after_dek_ids)
+
+
+def rotation_report(before: list[FileDEKRecord], after: list[FileDEKRecord]) -> RotationReport:
+    return RotationReport(
+        before_dek_ids={record.dek_id for record in before if record.dek_id},
+        after_dek_ids={record.dek_id for record in after if record.dek_id},
+    )

@@ -1,0 +1,105 @@
+"""The naive KDS-side file->DEK mapping strawman (Section 5.4).
+
+Instead of embedding the DEK-ID in file metadata, the KDS keeps a central
+``filename -> DEK`` table.  The paper rejects this because it (1) adds a
+round trip to every file-open, (2) makes the KDS a single point of
+failure, and (3) breaks under offloaded compaction's temporary-filename
+dance, requiring rename-fixup RPCs.
+
+Implemented so the ablation benchmark can measure the extra round trips
+against SHIELD's metadata-embedded scheme.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.crypto.cipher import generate_nonce, spec_for
+from repro.errors import KeyManagementError, NotFoundError
+from repro.keys.dek import DEK
+from repro.keys.kds import SimulatedKDS
+from repro.lsm.envelope import Envelope
+from repro.lsm.filecrypto import CryptoProvider, FileCrypto, NULL_CRYPTO
+
+
+class MappingKDS(SimulatedKDS):
+    """A KDS that additionally owns the central file->DEK mapping."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._file_map: dict[str, str] = {}
+        self._map_lock = threading.Lock()
+
+    def register_file(self, server_id: str, path: str, dek_id: str) -> None:
+        """One extra round trip at every file creation."""
+        self._check_authorized(server_id)
+        self._charge_latency()
+        with self._map_lock:
+            self._file_map[path] = dek_id
+
+    def resolve_file(self, server_id: str, path: str) -> DEK:
+        """One extra round trip at every file open."""
+        self._check_authorized(server_id)
+        self._charge_latency()
+        with self._map_lock:
+            dek_id = self._file_map.get(path)
+        if dek_id is None:
+            raise NotFoundError(f"KDS has no DEK mapping for {path}")
+        return super().fetch(server_id, dek_id)
+
+    def fixup_rename(self, server_id: str, old_path: str, new_path: str) -> None:
+        """The rename-fixup RPC offloaded compaction would need."""
+        self._check_authorized(server_id)
+        self._charge_latency()
+        with self._map_lock:
+            if old_path not in self._file_map:
+                raise KeyManagementError(f"no mapping to fix up for {old_path}")
+            self._file_map[new_path] = self._file_map.pop(old_path)
+
+    def unregister_file(self, server_id: str, path: str) -> None:
+        self._charge_latency()
+        with self._map_lock:
+            self._file_map.pop(path, None)
+
+    def mapping_size(self) -> int:
+        with self._map_lock:
+            return len(self._file_map)
+
+
+class MappingCryptoProvider(CryptoProvider):
+    """Resolves DEKs by *file path* through the central KDS mapping.
+
+    Note what is missing compared to ``ShieldCryptoProvider``: the envelope
+    DEK-ID is ignored, there is no local secure cache, and every open costs
+    a mapping round trip.
+    """
+
+    def __init__(self, kds: MappingKDS, server_id: str,
+                 scheme: str = "shake-ctr"):
+        self.kds = kds
+        self.server_id = server_id
+        self.scheme = scheme
+        self.extra_round_trips = 0
+
+    def for_new_file(self, file_kind: int, path: str) -> FileCrypto:
+        dek = self.kds.provision(self.server_id, self.scheme)
+        self.kds.register_file(self.server_id, path, dek.dek_id)
+        self.extra_round_trips += 1  # the register call
+        return FileCrypto(
+            spec_for(dek.scheme).scheme_id,
+            dek.dek_id,
+            dek.key,
+            generate_nonce(dek.scheme),
+        )
+
+    def for_existing_file(self, envelope: Envelope, path: str) -> FileCrypto:
+        if not envelope.encrypted:
+            return NULL_CRYPTO
+        dek = self.kds.resolve_file(self.server_id, path)
+        self.extra_round_trips += 1  # the resolve call
+        return FileCrypto(envelope.scheme_id, dek.dek_id, dek.key, envelope.nonce)
+
+    def on_file_deleted(self, dek_id: str, path: str) -> None:
+        if dek_id:
+            self.kds.retire(dek_id)
+        self.kds.unregister_file(self.server_id, path)

@@ -1,0 +1,11 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.dbbench`` -- the db_bench analogue: run
+  fillrandom/readrandom/mixed/YCSB/mixgraph workloads against any of the
+  systems under test and print the comparison table.
+- ``python -m repro.tools.sst_dump`` -- inspect an SST file's plaintext
+  envelope and (when readable) its properties and entries.
+- ``python -m repro.tools.dek_audit`` -- audit a database directory: which
+  DEK protects which file, flag plaintext files and duplicate (DEK, nonce)
+  pairs.
+"""

@@ -1,0 +1,114 @@
+"""Audit a database directory's encryption posture.
+
+For every engine file it prints kind, cipher scheme, and DEK-ID, then
+summarizes: plaintext files holding user data (a finding!), duplicate
+(DEK, nonce) pairs (a catastrophic CTR misuse -- should never happen), and
+whether every file carries a distinct DEK (SHIELD's invariant).
+
+Example::
+
+    python -m repro.tools.dek_audit /path/to/db
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.crypto.cipher import scheme_name
+from repro.env.local import LocalEnv
+from repro.lsm.envelope import MAX_ENVELOPE_SIZE, decode_envelope, kind_name
+from repro.lsm.filename import parse_file_name
+
+
+def audit_directory(env, path: str) -> dict:
+    """Collect the audit facts (separated from printing for tests)."""
+    rows = []
+    for name in sorted(env.list_dir(path)):
+        parsed = parse_file_name(name)
+        if not parsed or parsed[0] == "current":
+            continue
+        try:
+            envelope = decode_envelope(
+                env.read_file(f"{path}/{name}")[:MAX_ENVELOPE_SIZE]
+            )
+        except Exception as exc:  # noqa: BLE001 - report unreadable files
+            rows.append({"name": name, "error": str(exc)})
+            continue
+        rows.append(
+            {
+                "name": name,
+                "kind": kind_name(envelope.file_kind),
+                "scheme": (
+                    scheme_name(envelope.scheme_id)
+                    if envelope.encrypted
+                    else "PLAINTEXT"
+                ),
+                "dek_id": envelope.dek_id,
+                "nonce": envelope.nonce.hex(),
+            }
+        )
+
+    readable = [row for row in rows if "error" not in row]
+    plaintext = [
+        row for row in readable
+        if row["scheme"] == "PLAINTEXT" and row["kind"] in ("wal", "sst")
+    ]
+    pair_counts = Counter(
+        (row["dek_id"], row["nonce"])
+        for row in readable
+        if row["scheme"] != "PLAINTEXT"
+    )
+    duplicate_pairs = [pair for pair, count in pair_counts.items() if count > 1]
+    dek_counts = Counter(
+        row["dek_id"] for row in readable if row["scheme"] != "PLAINTEXT"
+    )
+    shared_deks = [dek for dek, count in dek_counts.items() if count > 1]
+    return {
+        "rows": rows,
+        "plaintext_data_files": plaintext,
+        "duplicate_key_nonce_pairs": duplicate_pairs,
+        "shared_deks": shared_deks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.dek_audit",
+        description="Audit a database directory's encryption posture.",
+    )
+    parser.add_argument("path", help="database directory")
+    args = parser.parse_args(argv)
+
+    report = audit_directory(LocalEnv(), args.path)
+    print(f"{'file':20s} {'kind':10s} {'scheme':12s} dek_id")
+    for row in report["rows"]:
+        if "error" in row:
+            print(f"{row['name']:20s} UNREADABLE: {row['error']}")
+        else:
+            print(
+                f"{row['name']:20s} {row['kind']:10s} {row['scheme']:12s} "
+                f"{row['dek_id'] or '-'}"
+            )
+    print()
+    findings = 0
+    if report["plaintext_data_files"]:
+        findings += 1
+        names = ", ".join(r["name"] for r in report["plaintext_data_files"])
+        print(f"FINDING: plaintext user-data files: {names}")
+    if report["duplicate_key_nonce_pairs"]:
+        findings += 1
+        print("FINDING: duplicate (DEK, nonce) pairs -- keystream reuse!")
+    if report["shared_deks"]:
+        print(
+            f"NOTE: {len(report['shared_deks'])} DEK(s) shared by multiple "
+            "files (instance-level design, or a SHIELD invariant violation)"
+        )
+    if not findings:
+        print("OK: all user-data files encrypted, no keystream reuse.")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

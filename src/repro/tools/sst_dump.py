@@ -1,0 +1,85 @@
+"""Inspect SST files: envelope, properties, and (optionally) entries.
+
+The envelope is plaintext by design, so even without any key this tool
+shows which DEK a file needs -- exactly what a remote compaction worker
+reads before asking the KDS.
+
+Examples::
+
+    python -m repro.tools.sst_dump /path/to/000007.sst
+    python -m repro.tools.sst_dump --scan --limit 10 /path/plain.sst
+    python -m repro.tools.sst_dump --key <hex> --scheme shake-ctr enc.sst
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.crypto.cipher import scheme_name
+from repro.env.local import LocalEnv
+from repro.lsm.envelope import MAX_ENVELOPE_SIZE, decode_envelope, kind_name
+from repro.lsm.filecrypto import PlaintextCryptoProvider, SingleKeyCryptoProvider
+from repro.lsm.options import Options
+from repro.lsm.sst import SSTReader
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.sst_dump", description="Inspect an SST file."
+    )
+    parser.add_argument("path", help="SST file path")
+    parser.add_argument("--scan", action="store_true",
+                        help="print entries (needs a readable file)")
+    parser.add_argument("--limit", type=int, default=20)
+    parser.add_argument("--key", help="hex DEK for encrypted files")
+    parser.add_argument("--scheme", default="shake-ctr",
+                        help="cipher scheme for --key")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    env = LocalEnv()
+
+    head = env.read_file(args.path)[:MAX_ENVELOPE_SIZE]
+    envelope = decode_envelope(head)
+    print(f"file       : {args.path}")
+    print(f"kind       : {kind_name(envelope.file_kind)}")
+    if envelope.encrypted:
+        print(f"scheme     : {scheme_name(envelope.scheme_id)} "
+              f"(id {envelope.scheme_id})")
+        print(f"dek_id     : {envelope.dek_id}")
+        print(f"nonce      : {envelope.nonce.hex()}")
+    else:
+        print("scheme     : none (plaintext)")
+
+    if envelope.encrypted and not args.key:
+        print("\n(encrypted; pass --key to read properties/entries)")
+        return 0
+
+    provider = (
+        SingleKeyCryptoProvider(args.scheme, bytes.fromhex(args.key))
+        if args.key
+        else PlaintextCryptoProvider()
+    )
+    reader = SSTReader(env, args.path, provider, Options())
+    try:
+        print("\nproperties:")
+        for prop_key in sorted(reader.properties):
+            print(f"  {prop_key} = {reader.properties[prop_key]}")
+        if args.scan:
+            print(f"\nentries (first {args.limit}):")
+            for index, (key, seq, vtype, value) in enumerate(reader.entries()):
+                if index >= args.limit:
+                    print("  ...")
+                    break
+                kind = "PUT" if vtype else "DEL"
+                print(f"  {kind} seq={seq} {key!r} = {value[:40]!r}")
+    finally:
+        reader.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared utilities: integer coding, checksums, clocks, LRU cache, statistics."""
+
+from repro.util.coding import (
+    encode_varint32,
+    encode_varint64,
+    decode_varint32,
+    decode_varint64,
+    encode_fixed32,
+    encode_fixed64,
+    decode_fixed32,
+    decode_fixed64,
+)
+from repro.util.checksum import crc32, mask_crc, unmask_crc, masked_crc32
+from repro.util.clock import Clock, RealClock, VirtualClock, ScaledClock
+from repro.util.lru import LRUCache
+from repro.util.stats import Histogram, Counter, StatsRegistry
+
+__all__ = [
+    "encode_varint32",
+    "encode_varint64",
+    "decode_varint32",
+    "decode_varint64",
+    "encode_fixed32",
+    "encode_fixed64",
+    "decode_fixed32",
+    "decode_fixed64",
+    "crc32",
+    "mask_crc",
+    "unmask_crc",
+    "masked_crc32",
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "ScaledClock",
+    "LRUCache",
+    "Histogram",
+    "Counter",
+    "StatsRegistry",
+]

@@ -1,0 +1,82 @@
+"""Clock abstraction used for latency injection in simulated deployments.
+
+Three implementations:
+
+- :class:`RealClock` -- wall time, real sleeps (the default for benchmarks).
+- :class:`ScaledClock` -- real sleeps scaled by a factor, so a simulated
+  2750 microsecond KDS round-trip can run 10x faster while preserving
+  latency *ratios* between components.
+- :class:`VirtualClock` -- fully deterministic virtual time for unit tests;
+  ``sleep`` advances the virtual timestamp without blocking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: ``now()`` in seconds and ``sleep(seconds)``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall-clock time with real sleeping."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ScaledClock(Clock):
+    """Real clock whose sleeps are multiplied by ``scale`` (< 1 speeds up)."""
+
+    def __init__(self, scale: float = 1.0):
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        self.scale = scale
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        scaled = seconds * self.scale
+        if scaled > 0:
+            time.sleep(scaled)
+
+
+class VirtualClock(Clock):
+    """Deterministic virtual time; ``sleep`` advances time without blocking.
+
+    Thread-safe: concurrent sleepers each advance the shared timestamp, which
+    is a deliberate simplification (no event queue) adequate for unit tests.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.Lock()
+        self.total_slept = 0.0
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            self._now += seconds
+            self.total_slept += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Explicitly move time forward (test helper)."""
+        self.sleep(seconds)

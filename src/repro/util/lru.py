@@ -1,0 +1,89 @@
+"""Byte-capacity LRU cache used for the LSM block cache and DEK caches."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class LRUCache:
+    """Thread-safe LRU cache with a capacity expressed in charged bytes.
+
+    Each entry carries an explicit ``charge`` (its approximate memory
+    footprint).  When the sum of charges exceeds ``capacity``, entries are
+    evicted in least-recently-used order.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._usage = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any, charge: int = 1) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._usage -= old[1]
+            self._entries[key] = (value, charge)
+            self._usage += charge
+            while self._usage > self.capacity and self._entries:
+                __, (___, evicted_charge) = self._entries.popitem(last=False)
+                self._usage -= evicted_charge
+                self.evictions += 1
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], tuple[Any, int]]) -> Any:
+        """Return the cached value, loading (value, charge) on a miss."""
+        value = self.get(key, default=_MISSING)
+        if value is not _MISSING:
+            return value
+        value, charge = loader()
+        self.put(key, value, charge)
+        return value
+
+    def remove(self, key: Hashable) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._usage -= entry[1]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._usage = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def usage(self) -> int:
+        with self._lock:
+            return self._usage
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

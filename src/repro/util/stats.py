@@ -1,0 +1,153 @@
+"""Lightweight metrics: counters, latency histograms, and a registry.
+
+The benchmark harness and the simulated deployments both report through
+these types, mirroring RocksDB's Statistics object at a much smaller scale.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram:
+    """Exponential-bucket latency histogram (microsecond-scale friendly).
+
+    Buckets grow geometrically, so percentile estimates stay within ~5% of
+    the true value across nine orders of magnitude while using O(1) memory.
+    """
+
+    _GROWTH = 1.05
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._counts: dict[int, int] = {}
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        bucket = 0 if value < 1e-9 else int(math.log(value / 1e-9, self._GROWTH)) + 1
+        with self._lock:
+            self._counts[bucket] = self._counts.get(bucket, 0) + 1
+            self._n += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    def _bucket_upper(self, bucket: int) -> float:
+        if bucket == 0:
+            return 1e-9
+        return 1e-9 * self._GROWTH ** bucket
+
+    def percentile(self, p: float) -> float:
+        """Return the approximate ``p``-th percentile (p in [0, 100])."""
+        with self._lock:
+            if self._n == 0:
+                return 0.0
+            target = self._n * p / 100.0
+            cumulative = 0
+            for bucket in sorted(self._counts):
+                cumulative += self._counts[bucket]
+                if cumulative >= target:
+                    return min(self._bucket_upper(bucket), self._max)
+            return self._max
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._n
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._n if self._n else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._n else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._n else 0.0
+
+
+class StatsRegistry:
+    """A named collection of counters and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every metric into a name -> value mapping."""
+        out: dict[str, float] = {}
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        for name, counter in counters.items():
+            out[name] = counter.value
+        for name, hist in histograms.items():
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.p99"] = hist.percentile(99)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            self._histograms.clear()
+
+
+def percentile_exact(values: list[float], p: float) -> float:
+    """Exact percentile of a list (used by the bench harness reports)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * p / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction

@@ -1,0 +1,84 @@
+"""AES correctness pinned to FIPS-197 Appendix C test vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES, _SBOX, _INV_SBOX
+from repro.errors import EncryptionError
+
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def test_sbox_known_entries():
+    # Spot values straight from FIPS-197 Figure 7.
+    assert _SBOX[0x00] == 0x63
+    assert _SBOX[0x01] == 0x7C
+    assert _SBOX[0x53] == 0xED
+    assert _SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_inverts():
+    for value in range(256):
+        assert _INV_SBOX[_SBOX[value]] == value
+
+
+def test_fips197_aes128():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_fips197_aes192():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_fips197_aes256():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_fips197_appendix_b_vector():
+    # The worked example of FIPS-197 Appendix B.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    assert AES(key).encrypt_block(plaintext) == expected
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_decrypt_inverts_encrypt(key_len):
+    key = bytes(range(key_len))
+    aes = AES(key)
+    block = bytes(range(16))
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+def test_bad_key_size_rejected():
+    with pytest.raises(EncryptionError):
+        AES(b"short")
+
+
+def test_bad_block_size_rejected():
+    aes = AES(bytes(16))
+    with pytest.raises(EncryptionError):
+        aes.encrypt_block(b"tiny")
+    with pytest.raises(EncryptionError):
+        aes.decrypt_block(b"x" * 17)
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_encrypt_decrypt_roundtrip_property(key, block):
+    aes = AES(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16))
+def test_different_keys_differ(block):
+    c1 = AES(bytes(16)).encrypt_block(block)
+    c2 = AES(bytes([1]) + bytes(15)).encrypt_block(block)
+    assert c1 != c2

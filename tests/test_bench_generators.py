@@ -1,0 +1,86 @@
+"""Tests for benchmark key/value generators and workload plumbing."""
+
+import pytest
+
+from repro.bench.keygen import (
+    LatestGenerator,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianGenerator,
+    ZipfianKeys,
+    fnv1a_64,
+    format_key,
+)
+from repro.bench.valuegen import ValueGenerator
+
+
+def test_format_key_fixed_width():
+    assert format_key(42, 16) == b"0000000000000042"
+    assert len(format_key(10 ** 20, 16)) == 16  # truncates from the left
+
+
+def test_sequential_keys():
+    gen = SequentialKeys()
+    assert [gen.next_index() for _ in range(3)] == [0, 1, 2]
+    gen = SequentialKeys(start=10)
+    assert gen.next_index() == 10
+
+
+def test_uniform_keys_in_range_and_seeded():
+    a = UniformKeys(100, seed=1)
+    b = UniformKeys(100, seed=1)
+    values_a = [a.next_index() for _ in range(50)]
+    values_b = [b.next_index() for _ in range(50)]
+    assert values_a == values_b
+    assert all(0 <= v < 100 for v in values_a)
+    with pytest.raises(ValueError):
+        UniformKeys(0)
+
+
+def test_zipfian_skew():
+    gen = ZipfianGenerator(1000, seed=7)
+    samples = [gen.next_value() for _ in range(20_000)]
+    assert all(0 <= s < 1000 for s in samples)
+    # Rank 0 must dominate: with theta=0.99 over 1000 items it gets ~13%.
+    share_0 = samples.count(0) / len(samples)
+    assert share_0 > 0.08
+    # The top decile of ranks should carry the majority of requests.
+    top_decile = sum(1 for s in samples if s < 100) / len(samples)
+    assert top_decile > 0.5
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    gen = ZipfianKeys(1000, seed=7)
+    samples = [gen.next_index() for _ in range(5000)]
+    assert all(0 <= s < 1000 for s in samples)
+    hottest = max(set(samples), key=samples.count)
+    # The hottest key is the scrambled rank 0, not index 0 itself.
+    assert hottest == fnv1a_64(0) % 1000
+
+
+def test_latest_generator_prefers_recent():
+    gen = LatestGenerator(1000, seed=3)
+    samples = [gen.next_index() for _ in range(10_000)]
+    assert all(0 <= s < 1000 for s in samples)
+    recent = sum(1 for s in samples if s >= 900) / len(samples)
+    assert recent > 0.5
+    new_index = gen.advance()
+    assert new_index == 1000
+    more = [gen.next_index() for _ in range(2000)]
+    assert max(more) == 1000  # the new record is now reachable
+
+
+def test_value_generator_sizes():
+    gen = ValueGenerator(100, seed=1)
+    assert len(gen.next_value()) == 100
+    assert len(gen.next_value(37)) == 37
+    big = gen.next_value(3 * 1024 * 1024)
+    assert len(big) == 3 * 1024 * 1024
+    with pytest.raises(ValueError):
+        ValueGenerator(0)
+
+
+def test_value_generator_deterministic():
+    a = ValueGenerator(50, seed=9)
+    b = ValueGenerator(50, seed=9)
+    assert a.next_value() == b.next_value()

@@ -1,0 +1,125 @@
+"""Smoke tests for workloads, YCSB, mixgraph, systems, and the harness."""
+
+import pytest
+
+from repro.bench.harness import RunResult, format_table, relative_overhead
+from repro.bench.mixgraph import MixgraphSpec, preload_mixgraph, run_mixgraph
+from repro.bench.systems import SYSTEMS, make_system, parse_system
+from repro.bench.workloads import (
+    WorkloadSpec,
+    fill_random,
+    fill_seq,
+    preload,
+    read_random,
+    read_write_mix,
+)
+from repro.bench.ycsb import YCSBSpec, YCSB_WORKLOADS, load_ycsb, run_ycsb
+from repro.errors import InvalidArgumentError
+from repro.lsm.options import Options
+
+
+def _tiny_options():
+    return Options(write_buffer_size=16 * 1024, block_size=1024)
+
+
+def _tiny_spec(**overrides):
+    defaults = dict(num_ops=300, keyspace=300)
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fill_and_read_every_system(system):
+    db = make_system(system, base_options=_tiny_options())
+    with db:
+        spec = _tiny_spec()
+        result = fill_random(db, spec)
+        assert result.ops == 300
+        assert result.throughput > 0
+        read = read_random(db, spec)
+        assert read.ops == 300
+
+
+def test_parse_system():
+    spec = parse_system("shield+walbuf", wal_buffer=256)
+    assert spec.design == "shield"
+    assert spec.wal_buffer == 256
+    assert parse_system("baseline").wal_buffer == 0
+    with pytest.raises(InvalidArgumentError):
+        parse_system("mysql")
+    with pytest.raises(InvalidArgumentError):
+        parse_system("shield+turbo")
+
+
+def test_fill_seq_then_point_reads():
+    db = make_system("baseline", base_options=_tiny_options())
+    with db:
+        fill_seq(db, _tiny_spec())
+        assert db.get(b"0000000000000000") is not None
+
+
+def test_read_write_mix_ratio_naming():
+    db = make_system("baseline", base_options=_tiny_options())
+    with db:
+        preload(db, _tiny_spec(num_ops=100, keyspace=100))
+        result = read_write_mix(db, _tiny_spec(num_ops=100, keyspace=100,
+                                               read_fraction=0.9))
+        assert result.name == "rw-90r"
+        assert result.ops == 100
+
+
+def test_read_while_writing():
+    from repro.bench.workloads import read_while_writing
+
+    db = make_system("baseline", base_options=_tiny_options())
+    with db:
+        spec = _tiny_spec(num_ops=200, keyspace=200)
+        preload(db, spec)
+        result = read_while_writing(db, spec)
+        assert result.ops == 200
+        assert result.extra["background_writes"] > 0
+
+
+def test_mixgraph_runs_and_counts_ops():
+    db = make_system("baseline", base_options=_tiny_options())
+    with db:
+        spec = MixgraphSpec(num_ops=400, keyspace=400)
+        preload_mixgraph(db, spec)
+        result = run_mixgraph(db, spec)
+        total = result.extra["gets"] + result.extra["puts"] + result.extra["seeks"]
+        assert total == 400
+        # GET-heavy mix.
+        assert result.extra["gets"] > result.extra["puts"] > 0
+
+
+@pytest.mark.parametrize("workload", sorted(YCSB_WORKLOADS))
+def test_ycsb_workloads_run(workload):
+    db = make_system("baseline", base_options=_tiny_options())
+    with db:
+        spec = YCSBSpec(record_count=200, operation_count=150, value_size=128)
+        load_ycsb(db, spec)
+        result = run_ycsb(db, workload, spec)
+        assert result.ops == 150
+        counts = {k: v for k, v in result.extra.items() if v}
+        assert counts  # something ran
+        if workload == "C":
+            assert set(counts) == {"read"}
+        if workload == "E":
+            assert result.extra["scan"] > 0
+
+
+def test_relative_overhead_and_table():
+    base = RunResult(name="baseline", ops=1000, elapsed_s=1.0)
+    slow = RunResult(name="shield", ops=1000, elapsed_s=1.25)
+    assert relative_overhead(base, slow) == pytest.approx(20.0)
+    table = format_table("demo", [base, slow], baseline_name="baseline")
+    assert "baseline" in table
+    assert "+20.0%" in table
+    assert "== demo ==" in table
+
+
+def test_format_table_extra_columns():
+    result = RunResult(name="x", ops=10, elapsed_s=0.1, extra={"gets": 7})
+    table = format_table("t", [result], extra_columns=["gets"])
+    assert "gets" in table
+    assert "7" in table

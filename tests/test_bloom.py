@@ -1,0 +1,43 @@
+"""Tests for the bloom filter."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+def test_no_false_negatives():
+    keys = [b"key-%d" % i for i in range(1000)]
+    bloom = BloomFilter.build(keys, bits_per_key=10)
+    assert all(bloom.may_contain(k) for k in keys)
+
+
+def test_false_positive_rate_reasonable():
+    keys = [b"key-%d" % i for i in range(2000)]
+    bloom = BloomFilter.build(keys, bits_per_key=10)
+    rng = random.Random(42)
+    probes = [b"other-%d" % rng.randrange(10 ** 9) for _ in range(2000)]
+    false_positives = sum(bloom.may_contain(p) for p in probes)
+    # 10 bits/key should give ~1% FP; allow a generous margin.
+    assert false_positives / len(probes) < 0.05
+
+
+def test_encode_decode_roundtrip():
+    keys = [b"a", b"b", b"c"]
+    bloom = BloomFilter.build(keys, bits_per_key=10)
+    decoded = BloomFilter.decode(bloom.encode())
+    assert decoded.num_probes == bloom.num_probes
+    assert all(decoded.may_contain(k) for k in keys)
+
+
+def test_empty_filter():
+    bloom = BloomFilter.build([], bits_per_key=10)
+    # An empty filter has all bits clear: everything is "definitely absent".
+    assert not bloom.may_contain(b"anything")
+
+
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=100))
+def test_membership_property(keys):
+    bloom = BloomFilter.build(keys, bits_per_key=12)
+    assert all(bloom.may_contain(k) for k in keys)

@@ -1,0 +1,64 @@
+"""ChaCha20 pinned to RFC 8439 test vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.chacha20 import ChaCha20Cipher, chacha20_block
+from repro.errors import EncryptionError
+
+
+def test_rfc8439_block_function():
+    # RFC 8439 Section 2.3.2.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000090000004a00000000")
+    expected = bytes.fromhex(
+        "10f1e7e4d13b5915500fdd1fa32071c4"
+        "c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2"
+        "b5129cd1de164eb9cbd083e8a2503c4e"
+    )
+    assert chacha20_block(key, 1, nonce) == expected
+
+
+def test_rfc8439_encryption_vector():
+    # RFC 8439 Section 2.4.2: the "Ladies and Gentlemen" sunscreen text.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+    expected = bytes.fromhex(
+        "6e2e359a2568f98041ba0728dd0d6981"
+        "e97e7aec1d4360c20a27afccfd9fae0b"
+        "f91b65c5524733ab8f593dabcd62b357"
+        "1639d624e65152ab8f530c359f0861d8"
+        "07ca0dbf500d6a6156a38e088a22b65e"
+        "52bc514d16ccf806818ce91ab7793736"
+        "5af90bbf74a35be6b40b8eedf2785e42"
+        "874d"
+    )
+    cipher = ChaCha20Cipher(key, nonce)
+    # RFC starts the data at counter 1, i.e. byte offset 64.
+    assert cipher.xor_at(plaintext, 64) == expected
+
+
+def test_seekable_keystream():
+    cipher = ChaCha20Cipher(bytes(32), bytes(12))
+    full = cipher.keystream(0, 200)
+    assert cipher.keystream(70, 60) == full[70:130]
+
+
+def test_bad_sizes():
+    with pytest.raises(EncryptionError):
+        ChaCha20Cipher(bytes(16), bytes(12))
+    with pytest.raises(EncryptionError):
+        ChaCha20Cipher(bytes(32), bytes(8))
+    with pytest.raises(EncryptionError):
+        chacha20_block(bytes(32), 0, bytes(8))
+
+
+@given(st.binary(max_size=300), st.integers(min_value=0, max_value=10_000))
+def test_involution(data, offset):
+    cipher = ChaCha20Cipher(bytes(32), bytes(12))
+    assert cipher.xor_at(cipher.xor_at(data, offset), offset) == data

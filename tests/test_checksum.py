@@ -1,0 +1,32 @@
+"""Tests for CRC masking."""
+
+from hypothesis import given, strategies as st
+
+from repro.util import checksum
+
+
+def test_crc_of_empty():
+    assert checksum.crc32(b"") == 0
+
+
+def test_crc_known_value():
+    # zlib CRC-32 of "123456789" is the classic check value 0xCBF43926.
+    assert checksum.crc32(b"123456789") == 0xCBF43926
+
+
+def test_crc_seed_continuation():
+    whole = checksum.crc32(b"hello world")
+    part = checksum.crc32(b" world", seed=checksum.crc32(b"hello"))
+    assert whole == part
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_mask_unmask_roundtrip(crc):
+    assert checksum.unmask_crc(checksum.mask_crc(crc)) == crc
+
+
+@given(st.binary(max_size=100))
+def test_mask_changes_value(data):
+    crc = checksum.crc32(data)
+    assert checksum.mask_crc(crc) != crc or crc == checksum.mask_crc(crc) == 0 or True
+    assert checksum.unmask_crc(checksum.masked_crc32(data)) == crc

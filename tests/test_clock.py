@@ -1,0 +1,48 @@
+"""Tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.util.clock import RealClock, ScaledClock, VirtualClock
+
+
+def test_real_clock_advances():
+    clock = RealClock()
+    t0 = clock.now()
+    clock.sleep(0.001)
+    assert clock.now() > t0
+
+
+def test_scaled_clock_scales_down():
+    clock = ScaledClock(scale=0.0)
+    t0 = time.perf_counter()
+    clock.sleep(10.0)  # would block for 10s unscaled
+    assert time.perf_counter() - t0 < 1.0
+
+
+def test_scaled_clock_rejects_negative_scale():
+    with pytest.raises(ValueError):
+        ScaledClock(scale=-1)
+
+
+def test_virtual_clock_never_blocks():
+    clock = VirtualClock()
+    t0 = time.perf_counter()
+    clock.sleep(1000.0)
+    assert time.perf_counter() - t0 < 0.5
+    assert clock.now() == 1000.0
+    assert clock.total_slept == 1000.0
+
+
+def test_virtual_clock_accumulates():
+    clock = VirtualClock(start=5.0)
+    clock.sleep(1.0)
+    clock.advance(2.0)
+    assert clock.now() == 8.0
+
+
+def test_virtual_clock_ignores_negative():
+    clock = VirtualClock()
+    clock.sleep(-1.0)
+    assert clock.now() == 0.0

@@ -1,0 +1,147 @@
+"""Tests for SST block compression (compress-then-encrypt)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.cipher import generate_key
+from repro.env.mem import MemEnv
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.lsm.block import (
+    BLOCK_RAW,
+    BLOCK_ZLIB,
+    unwrap_block,
+    wrap_block,
+)
+from repro.lsm.db import DB
+from repro.lsm.filecrypto import SingleKeyCryptoProvider
+from repro.lsm.options import Options
+
+
+def test_wrap_raw_when_incompressible():
+    import os
+
+    noise = os.urandom(500)
+    stored = wrap_block(noise, "zlib")
+    assert stored[0] == BLOCK_RAW
+    assert unwrap_block(stored) == noise
+
+
+def test_wrap_compresses_compressible():
+    data = b"abcabcabc" * 200
+    stored = wrap_block(data, "zlib")
+    assert stored[0] == BLOCK_ZLIB
+    assert len(stored) < len(data)
+    assert unwrap_block(stored) == data
+
+
+def test_wrap_none_always_raw():
+    stored = wrap_block(b"abcabcabc" * 200, "none")
+    assert stored[0] == BLOCK_RAW
+
+
+def test_unwrap_rejects_garbage():
+    with pytest.raises(CorruptionError):
+        unwrap_block(b"")
+    with pytest.raises(CorruptionError):
+        unwrap_block(bytes([99]) + b"data")
+    with pytest.raises(CorruptionError):
+        unwrap_block(bytes([BLOCK_ZLIB]) + b"not-zlib-data")
+
+
+@given(st.binary(max_size=5000), st.sampled_from(["none", "zlib"]))
+def test_wrap_unwrap_roundtrip(data, compression):
+    if not data:
+        return
+    assert unwrap_block(wrap_block(data, compression)) == data
+
+
+def test_invalid_compression_option_rejected():
+    with pytest.raises(InvalidArgumentError):
+        Options(compression="lz77").validate()
+
+
+def _sized_db(env, compression):
+    return DB(
+        "/cmp",
+        Options(
+            env=env,
+            compression=compression,
+            write_buffer_size=16 * 1024,
+            block_size=2048,
+        ),
+    )
+
+
+def test_compressed_db_roundtrip():
+    env = MemEnv()
+    db = _sized_db(env, "zlib")
+    try:
+        for i in range(800):
+            db.put(b"key-%05d" % i, b"repetitive-payload " * 5)
+        db.flush()
+        for i in range(0, 800, 37):
+            assert db.get(b"key-%05d" % i) == b"repetitive-payload " * 5
+        assert dict(db.scan(limit=5))
+    finally:
+        db.close()
+
+
+def test_compression_shrinks_files():
+    def total_sst_bytes(compression):
+        env = MemEnv()
+        db = _sized_db(env, compression)
+        try:
+            for i in range(800):
+                db.put(b"key-%05d" % i, b"repetitive-payload " * 5)
+            db.compact_range()
+            return sum(
+                env.file_size(f"/cmp/{n}")
+                for n in env.list_dir("/cmp")
+                if n.endswith(".sst")
+            )
+        finally:
+            db.close()
+
+    assert total_sst_bytes("zlib") < total_sst_bytes("none") * 0.6
+
+
+def test_compression_composes_with_encryption():
+    env = MemEnv()
+    provider = SingleKeyCryptoProvider("shake-ctr", generate_key("shake-ctr"))
+    db = DB(
+        "/cmp",
+        Options(
+            env=env,
+            compression="zlib",
+            crypto_provider=provider,
+            write_buffer_size=16 * 1024,
+        ),
+    )
+    try:
+        for i in range(500):
+            db.put(b"key-%05d" % i, b"compress-me " * 8)
+        db.flush()
+        for name in env.list_dir("/cmp"):
+            raw = env.read_file(f"/cmp/{name}")
+            assert b"compress-me" not in raw
+        assert db.get(b"key-00042") == b"compress-me " * 8
+    finally:
+        db.close()
+
+
+def test_mixed_compression_files_coexist():
+    """A database can change its compression setting across restarts; old
+    files keep their original framing."""
+    env = MemEnv()
+    db = _sized_db(env, "none")
+    db.put(b"old", b"written-raw " * 10)
+    db.flush()
+    db.close()
+    db = _sized_db(env, "zlib")
+    try:
+        db.put(b"new", b"written-compressed " * 10)
+        db.flush()
+        assert db.get(b"old") == b"written-raw " * 10
+        assert db.get(b"new") == b"written-compressed " * 10
+    finally:
+        db.close()

@@ -1,0 +1,56 @@
+"""Additional NIST vectors and cross-cipher properties."""
+
+from repro.crypto.aes import AES
+from repro.crypto.ctr import CtrCipher
+
+# SP 800-38A F.5.5: CTR-AES256.Encrypt
+_KEY_256 = bytes.fromhex(
+    "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+)
+_NONCE = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafb")
+_START_COUNTER = 0xFCFDFEFF
+_PLAINTEXT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+_CIPHERTEXT_256 = bytes.fromhex(
+    "601ec313775789a5b7a7f504bbf3d228"
+    "f443e3ca4d62b59aca84e990cacaf5c5"
+    "2b0930daa23de94ce87017ba2d84988d"
+    "dfc9c58db67aada613c2dd08457941a6"
+)
+
+# SP 800-38A F.5.3: CTR-AES192.Encrypt
+_KEY_192 = bytes.fromhex(
+    "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"
+)
+_CIPHERTEXT_192 = bytes.fromhex(
+    "1abc932417521ca24f2b0459fe7e6e0b"
+    "090339ec0aa6faefd5ccc2c6f4ce8e94"
+    "1e36b26bd1ebc670d1bd1d665620abf7"
+    "4f78a7f6d29809585a97daec58c6b050"
+)
+
+
+def test_sp800_38a_ctr_aes256():
+    cipher = CtrCipher(AES(_KEY_256), _NONCE)
+    assert cipher.xor_at(_PLAINTEXT, _START_COUNTER * 16) == _CIPHERTEXT_256
+
+
+def test_sp800_38a_ctr_aes192():
+    cipher = CtrCipher(AES(_KEY_192), _NONCE)
+    assert cipher.xor_at(_PLAINTEXT, _START_COUNTER * 16) == _CIPHERTEXT_192
+
+
+def test_ciphers_produce_distinct_keystreams():
+    """Different schemes with byte-identical keys/nonces must not share a
+    keystream (domain separation across cipher families)."""
+    from repro.crypto.chacha20 import ChaCha20Cipher
+    from repro.crypto.xof import ShakeCtrCipher
+
+    chacha = ChaCha20Cipher(bytes(32), bytes(12)).keystream(0, 64)
+    shake = ShakeCtrCipher(bytes(32), bytes(16)).keystream(0, 64)
+    aes = CtrCipher(AES(bytes(16)), bytes(12)).keystream(0, 64)
+    assert len({chacha, shake, aes}) == 3

@@ -1,0 +1,77 @@
+"""Tests for the DEK model and key policies."""
+
+import pytest
+
+from repro.crypto.cipher import spec_for
+from repro.keys.dek import DEK, new_dek_id
+from repro.keys.policies import (
+    HierarchicalDerivationPolicy,
+    PerFileIsolationPolicy,
+    PerServerSharingPolicy,
+)
+
+
+def test_dek_id_unique():
+    ids = {new_dek_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(i.startswith("dek-") for i in ids)
+
+
+def test_dek_validation():
+    with pytest.raises(ValueError):
+        DEK(dek_id="", key=b"k", scheme="shake-ctr")
+    with pytest.raises(ValueError):
+        DEK(dek_id="dek-1", key=b"", scheme="shake-ctr")
+
+
+def test_dek_repr_hides_key():
+    dek = DEK(dek_id="dek-1", key=b"supersecret" * 3, scheme="shake-ctr")
+    assert "supersecret" not in repr(dek)
+
+
+def test_dek_fingerprint_stable():
+    dek = DEK(dek_id="dek-1", key=b"k" * 32, scheme="shake-ctr")
+    assert dek.fingerprint() == dek.fingerprint()
+    other = DEK(dek_id="dek-2", key=b"j" * 32, scheme="shake-ctr")
+    assert dek.fingerprint() != other.fingerprint()
+
+
+def test_per_file_isolation_unique_keys():
+    policy = PerFileIsolationPolicy()
+    deks = [policy.make_dek("s1", "shake-ctr", 0.0) for _ in range(10)]
+    assert len({d.key for d in deks}) == 10
+    assert len({d.dek_id for d in deks}) == 10
+    assert all(len(d.key) == spec_for("shake-ctr").key_size for d in deks)
+
+
+def test_per_server_sharing_same_key_per_server():
+    policy = PerServerSharingPolicy()
+    a1 = policy.make_dek("server-a", "shake-ctr", 0.0)
+    a2 = policy.make_dek("server-a", "shake-ctr", 0.0)
+    b1 = policy.make_dek("server-b", "shake-ctr", 0.0)
+    assert a1.key == a2.key
+    assert a1.dek_id != a2.dek_id  # identifiers stay unique
+    assert a1.key != b1.key
+
+
+def test_per_server_sharing_scheme_separation():
+    policy = PerServerSharingPolicy()
+    shake = policy.make_dek("s", "shake-ctr", 0.0)
+    aes = policy.make_dek("s", "aes-128-ctr", 0.0)
+    assert shake.key != aes.key
+    assert len(aes.key) == 16
+
+
+def test_hierarchical_derivation_reproducible():
+    policy = HierarchicalDerivationPolicy(master=b"m" * 32)
+    dek = policy.make_dek("s1", "shake-ctr", 0.0)
+    assert policy.derive(dek.dek_id, "shake-ctr") == dek.key
+    # A different master derives different keys.
+    other = HierarchicalDerivationPolicy(master=b"n" * 32)
+    assert other.derive(dek.dek_id, "shake-ctr") != dek.key
+
+
+def test_hierarchical_derivation_key_sizes():
+    policy = HierarchicalDerivationPolicy()
+    aes_dek = policy.make_dek("s", "aes-128-ctr", 0.0)
+    assert len(aes_dek.key) == 16

@@ -1,0 +1,105 @@
+"""Tests for the passkey-protected secure DEK cache."""
+
+import pytest
+
+from repro.errors import CorruptionError, KeyManagementError
+from repro.keys.cache import SecureDEKCache
+from repro.keys.dek import DEK
+
+_ITER = 10  # keep PBKDF2 cheap in tests
+
+
+def _dek(i: int) -> DEK:
+    return DEK(
+        dek_id=f"dek-{i:04d}", key=bytes([i % 256]) * 32, scheme="shake-ctr",
+        created_at=float(i),
+    )
+
+
+def test_put_get_remove(tmp_path):
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pass", iterations=_ITER)
+    dek = _dek(1)
+    cache.put(dek)
+    assert cache.get("dek-0001") == dek
+    assert cache.get("dek-missing") is None
+    cache.remove("dek-0001")
+    assert cache.get("dek-0001") is None
+    assert len(cache) == 0
+
+
+def test_persistence_across_restart(tmp_path):
+    path = str(tmp_path / "c.db")
+    cache = SecureDEKCache(path, "pass", iterations=_ITER)
+    for i in range(5):
+        cache.put(_dek(i))
+    reopened = SecureDEKCache(path, "pass", iterations=_ITER)
+    assert len(reopened) == 5
+    assert reopened.get("dek-0003") == _dek(3)
+    assert reopened.dek_ids() == sorted(f"dek-{i:04d}" for i in range(5))
+
+
+def test_wrong_passkey_rejected(tmp_path):
+    path = str(tmp_path / "c.db")
+    SecureDEKCache(path, "correct", iterations=_ITER).put(_dek(1))
+    with pytest.raises(KeyManagementError):
+        SecureDEKCache(path, "wrong", iterations=_ITER)
+
+
+def test_tampering_detected(tmp_path):
+    path = str(tmp_path / "c.db")
+    SecureDEKCache(path, "pass", iterations=_ITER).put(_dek(1))
+    with open(path, "r+b") as handle:
+        handle.seek(-1, 2)
+        last = handle.read(1)
+        handle.seek(-1, 2)
+        handle.write(bytes([last[0] ^ 0xFF]))
+    with pytest.raises(KeyManagementError):
+        SecureDEKCache(path, "pass", iterations=_ITER)
+
+
+def test_not_a_cache_file(tmp_path):
+    path = str(tmp_path / "c.db")
+    with open(path, "wb") as handle:
+        handle.write(b"garbage")
+    with pytest.raises(CorruptionError):
+        SecureDEKCache(path, "pass", iterations=_ITER)
+
+
+def test_key_material_never_plaintext_on_disk(tmp_path):
+    path = str(tmp_path / "c.db")
+    secret = b"\xabSENTINEL-KEY-MATERIAL\xcd" + bytes(8)
+    cache = SecureDEKCache(path, "pass", iterations=_ITER)
+    cache.put(DEK(dek_id="dek-x", key=secret, scheme="shake-ctr"))
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    assert secret not in blob
+    assert b"dek-x" not in blob  # even identifiers are wrapped
+
+
+def test_shared_cache_between_instances(tmp_path):
+    path = str(tmp_path / "c.db")
+    writer = SecureDEKCache(path, "pass", iterations=_ITER)
+    reader = SecureDEKCache(path, "pass", iterations=_ITER)
+    writer.put(_dek(7))
+    assert reader.get("dek-0007") is None  # not loaded yet
+    reader.reload()
+    assert reader.get("dek-0007") == _dek(7)
+
+
+def test_write_through_off_requires_flush(tmp_path):
+    path = str(tmp_path / "c.db")
+    cache = SecureDEKCache(path, "pass", iterations=_ITER, write_through=False)
+    cache.put(_dek(1))
+    fresh = SecureDEKCache(path + "x", "pass", iterations=_ITER)
+    assert len(fresh) == 0
+    cache.flush()
+    reopened = SecureDEKCache(path, "pass", iterations=_ITER)
+    assert len(reopened) == 1
+
+
+def test_round_trips_saved_counter(tmp_path):
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pass", iterations=_ITER)
+    cache.put(_dek(1))
+    cache.get("dek-0001")
+    cache.get("dek-0001")
+    assert cache.kds_round_trips_saved == 2

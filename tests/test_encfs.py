@@ -1,0 +1,151 @@
+"""Tests for the instance-level design (EncryptedEnv)."""
+
+import pytest
+
+from repro.crypto.cipher import generate_key
+from repro.encfs.env import EncryptedEnv, reencrypt_file
+from repro.env.mem import MemEnv
+from repro.errors import CorruptionError, EncryptionError
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+
+
+def _env_pair(scheme="shake-ctr"):
+    inner = MemEnv()
+    key = generate_key(scheme)
+    return inner, EncryptedEnv(inner, key, scheme), key
+
+
+def test_write_read_roundtrip():
+    inner, env, __ = _env_pair()
+    env.write_file("/f", b"hello plaintext world")
+    assert env.read_file("/f") == b"hello plaintext world"
+    assert b"plaintext" not in inner.read_file("/f")
+
+
+def test_random_access_decrypts_at_offset():
+    __, env, ___ = _env_pair()
+    env.write_file("/f", bytes(range(200)))
+    with env.new_random_access_file("/f") as handle:
+        assert handle.read(50, 10) == bytes(range(50, 60))
+        assert handle.size() == 200
+
+
+def test_multiple_appends_continuous_stream():
+    inner, env, __ = _env_pair()
+    with env.new_writable_file("/f") as handle:
+        handle.append(b"part-one|")
+        handle.append(b"part-two")
+        assert handle.tell() == 17
+        handle.sync()
+    assert env.read_file("/f") == b"part-one|part-two"
+
+
+def test_file_size_excludes_header():
+    __, env, ___ = _env_pair()
+    env.write_file("/f", b"12345")
+    assert env.file_size("/f") == 5
+
+
+def test_each_file_fresh_nonce():
+    inner, env, __ = _env_pair()
+    env.write_file("/a", b"same-content")
+    env.write_file("/b", b"same-content")
+    # Single DEK but per-file nonces: ciphertexts must differ.
+    assert inner.read_file("/a") != inner.read_file("/b")
+
+
+def test_wrong_key_garbles():
+    inner, env, __ = _env_pair()
+    env.write_file("/f", b"secret")
+    wrong = EncryptedEnv(inner, b"x" * 32, "shake-ctr")
+    assert wrong.read_file("/f") != b"secret"
+
+
+def test_plain_file_rejected():
+    inner, env, __ = _env_pair()
+    inner.write_file("/plain", b"not encrypted")
+    with pytest.raises(CorruptionError):
+        env.read_file("/plain")
+
+
+def test_bad_key_size_rejected():
+    with pytest.raises(EncryptionError):
+        EncryptedEnv(MemEnv(), b"short")
+
+
+def test_scheme_mismatch_rejected():
+    inner = MemEnv()
+    shake_env = EncryptedEnv(inner, generate_key("shake-ctr"), "shake-ctr")
+    shake_env.write_file("/f", b"x")
+    chacha_env = EncryptedEnv(inner, generate_key("chacha20"), "chacha20")
+    with pytest.raises(EncryptionError):
+        chacha_env.read_file("/f")
+
+
+def test_passthrough_operations():
+    inner, env, __ = _env_pair()
+    env.write_file("/dir/a", b"1")
+    env.rename_file("/dir/a", "/dir/b")
+    assert env.file_exists("/dir/b")
+    assert env.list_dir("/dir") == ["b"]
+    env.delete_file("/dir/b")
+    assert not env.file_exists("/dir/b")
+
+
+def test_reencrypt_file_rotation():
+    inner, env, __ = _env_pair()
+    env.write_file("/f", b"rotate-me")
+    new_key = generate_key("shake-ctr")
+    new_env = EncryptedEnv(inner, new_key, "shake-ctr")
+    old_cipher = inner.read_file("/f")
+    reencrypt_file(env, "/f", new_env)
+    assert inner.read_file("/f") != old_cipher
+    assert new_env.read_file("/f") == b"rotate-me"
+    assert env.read_file("/f") != b"rotate-me"  # old key no longer works
+
+
+def test_full_db_on_encrypted_env():
+    """The whole engine runs unmodified on top of EncryptedEnv (Section 4:
+    'the core LSM-KVS codebase remains unchanged')."""
+    inner = MemEnv()
+    key = generate_key("shake-ctr")
+    options = Options(
+        env=EncryptedEnv(inner, key),
+        write_buffer_size=4 * 1024,
+        block_size=1024,
+    )
+    with DB("/db", options) as db:
+        for i in range(500):
+            db.put(b"key-%04d" % i, b"secret-value-%04d" % i)
+        db.flush()
+        for i in range(0, 500, 37):
+            assert db.get(b"key-%04d" % i) == b"secret-value-%04d" % i
+    # No plaintext anywhere on the underlying storage.
+    for name in inner.list_dir("/db"):
+        raw = inner.read_file(f"/db/{name}")
+        assert b"secret-value" not in raw
+        assert b"key-0001" not in raw
+
+
+def test_db_reopens_on_encrypted_env():
+    inner = MemEnv()
+    key = generate_key("shake-ctr")
+
+    def options():
+        return Options(env=EncryptedEnv(inner, key), write_buffer_size=4 * 1024)
+
+    db = DB("/db", options())
+    db.put(b"durable", b"data")
+    db.close()
+    with DB("/db", options()) as reopened:
+        assert reopened.get(b"durable") == b"data"
+
+
+def test_db_unreadable_with_wrong_instance_key():
+    inner = MemEnv()
+    db = DB("/db", Options(env=EncryptedEnv(inner, b"a" * 32)))
+    db.put(b"k", b"v")
+    db.close()
+    with pytest.raises(Exception):
+        DB("/db", Options(env=EncryptedEnv(inner, b"b" * 32)))

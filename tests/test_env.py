@@ -1,0 +1,167 @@
+"""Tests for the Env abstraction: LocalEnv, MemEnv (incl. crash semantics),
+MeteredEnv, and LatencyEnv."""
+
+import pytest
+
+from repro.env import (
+    LatencyEnv,
+    LatencyModel,
+    LocalEnv,
+    MemEnv,
+    MeteredEnv,
+    classify_path,
+)
+from repro.errors import IOError_
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture(params=["local", "mem"])
+def env(request, tmp_path):
+    if request.param == "local":
+        local = LocalEnv()
+        local.mkdirs(str(tmp_path / "db"))
+        return local, str(tmp_path / "db")
+    mem = MemEnv()
+    mem.mkdirs("/db")
+    return mem, "/db"
+
+
+def test_write_read_roundtrip(env):
+    e, root = env
+    path = f"{root}/file.sst"
+    e.write_file(path, b"hello world")
+    assert e.read_file(path) == b"hello world"
+    assert e.file_size(path) == 11
+    assert e.file_exists(path)
+
+
+def test_append_and_tell(env):
+    e, root = env
+    path = f"{root}/file.log"
+    with e.new_writable_file(path) as handle:
+        handle.append(b"abc")
+        handle.append(b"def")
+        assert handle.tell() == 6
+        handle.sync()
+    assert e.read_file(path) == b"abcdef"
+
+
+def test_random_access_read(env):
+    e, root = env
+    path = f"{root}/file.sst"
+    e.write_file(path, bytes(range(100)))
+    with e.new_random_access_file(path) as handle:
+        assert handle.read(10, 5) == bytes(range(10, 15))
+        assert handle.size() == 100
+        assert handle.read(95, 50) == bytes(range(95, 100))  # short read at EOF
+
+
+def test_delete_rename_list(env):
+    e, root = env
+    e.write_file(f"{root}/a.sst", b"a")
+    e.write_file(f"{root}/b.sst", b"b")
+    e.rename_file(f"{root}/a.sst", f"{root}/c.sst")
+    assert not e.file_exists(f"{root}/a.sst")
+    assert e.read_file(f"{root}/c.sst") == b"a"
+    assert set(e.list_dir(root)) == {"b.sst", "c.sst"}
+    e.delete_file(f"{root}/b.sst")
+    assert e.list_dir(root) == ["c.sst"]
+    e.delete_file(f"{root}/missing")  # idempotent
+
+
+def test_missing_file_errors(env):
+    e, root = env
+    with pytest.raises(IOError_):
+        e.new_random_access_file(f"{root}/nope")
+    with pytest.raises(IOError_):
+        e.file_size(f"{root}/nope")
+
+
+def test_rename_missing_raises():
+    env = MemEnv()
+    with pytest.raises(IOError_):
+        env.rename_file("/a", "/b")
+
+
+def test_mem_crash_system_loses_unsynced():
+    env = MemEnv()
+    handle = env.new_writable_file("/wal.log")
+    handle.append(b"synced-part")
+    handle.sync()
+    handle.append(b"UNSYNCED")
+    env.crash_system()
+    assert env.read_file("/wal.log") == b"synced-part"
+
+
+def test_mem_crash_process_keeps_os_buffer():
+    env = MemEnv()
+    handle = env.new_writable_file("/wal.log")
+    handle.append(b"synced")
+    handle.sync()
+    handle.append(b"-os-buffered")
+    env.crash_process()
+    assert env.read_file("/wal.log") == b"synced-os-buffered"
+
+
+def test_mem_write_after_close_rejected():
+    env = MemEnv()
+    handle = env.new_writable_file("/f")
+    handle.close()
+    with pytest.raises(IOError_):
+        handle.append(b"x")
+
+
+def test_mem_nested_list_dir():
+    env = MemEnv()
+    env.write_file("/db/sub/file.sst", b"x")
+    env.write_file("/db/top.sst", b"y")
+    assert env.list_dir("/db") == ["sub", "top.sst"]
+
+
+def test_classify_path():
+    assert classify_path("/db/000001.log") == "wal"
+    assert classify_path("/db/000007.sst") == "sst"
+    assert classify_path("/db/MANIFEST-000002") == "manifest"
+    assert classify_path("/db/CURRENT") == "manifest"
+    assert classify_path("/db/OPTIONS") == "other"
+
+
+def test_metered_env_counts():
+    metered = MeteredEnv(MemEnv())
+    metered.write_file("/db/1.sst", b"x" * 100)
+    metered.write_file("/db/1.log", b"y" * 50)
+    metered.read_file("/db/1.sst")
+    assert metered.written_bytes("sst") == 100
+    assert metered.written_bytes("wal") == 50
+    assert metered.written_bytes() == 150
+    assert metered.read_bytes("sst") == 100
+    assert metered.read_bytes() == 100
+    assert metered.stats.counter("io.write.ops.sst").value == 1
+
+
+def test_metered_env_passthrough_ops():
+    metered = MeteredEnv(MemEnv())
+    metered.write_file("/a.sst", b"1")
+    metered.rename_file("/a.sst", "/b.sst")
+    assert metered.file_exists("/b.sst")
+    assert metered.file_size("/b.sst") == 1
+    metered.delete_file("/b.sst")
+    assert not metered.file_exists("/b.sst")
+
+
+def test_latency_model_costs():
+    model = LatencyModel(read_op_s=0.001, write_op_s=0.002, bandwidth_bytes_per_s=1000)
+    assert model.read_cost(1000) == pytest.approx(1.001)
+    assert model.write_cost(0) == pytest.approx(0.002)
+    unlimited = LatencyModel()
+    assert unlimited.read_cost(10 ** 9) == 0.0
+
+
+def test_latency_env_charges_clock():
+    clock = VirtualClock()
+    model = LatencyModel(read_op_s=0.5, write_op_s=1.0, bandwidth_bytes_per_s=100)
+    env = LatencyEnv(MemEnv(), model, clock=clock)
+    env.write_file("/f.sst", b"x" * 100)  # open(1.0) + append(1.0 + 1.0) + sync(1.0)
+    assert clock.now() == pytest.approx(4.0)
+    env.read_file("/f.sst")  # open(0.5) + read(0.5 + 1.0)
+    assert clock.now() == pytest.approx(6.0)

@@ -1,0 +1,94 @@
+"""Tests for the plaintext file envelope."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.envelope import (
+    Envelope,
+    FILE_KIND_MANIFEST,
+    FILE_KIND_SST,
+    FILE_KIND_WAL,
+    MAX_ENVELOPE_SIZE,
+    decode_envelope,
+    kind_name,
+)
+
+
+def test_roundtrip_plaintext():
+    envelope = Envelope(file_kind=FILE_KIND_WAL, scheme_id=0, dek_id="", nonce=b"")
+    decoded = decode_envelope(envelope.encode())
+    assert decoded.file_kind == FILE_KIND_WAL
+    assert not decoded.encrypted
+    assert decoded.dek_id == ""
+    assert decoded.header_size == len(envelope.encode())
+
+
+def test_roundtrip_encrypted():
+    envelope = Envelope(
+        file_kind=FILE_KIND_SST,
+        scheme_id=4,
+        dek_id="dek-abcdef0123456789",
+        nonce=b"n" * 16,
+    )
+    decoded = decode_envelope(envelope.encode() + b"payload-bytes-after")
+    assert decoded.encrypted
+    assert decoded.dek_id == "dek-abcdef0123456789"
+    assert decoded.nonce == b"n" * 16
+    assert decoded.scheme_id == 4
+
+
+def test_header_size_points_at_payload():
+    envelope = Envelope(FILE_KIND_SST, 4, "dek-x", b"n" * 16)
+    blob = envelope.encode() + b"PAYLOAD"
+    decoded = decode_envelope(blob)
+    assert blob[decoded.header_size:] == b"PAYLOAD"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CorruptionError):
+        decode_envelope(b"NOPE" + bytes(20))
+
+
+def test_truncated_rejected():
+    envelope = Envelope(FILE_KIND_SST, 4, "dek-x", b"n" * 16).encode()
+    with pytest.raises(CorruptionError):
+        decode_envelope(envelope[:10])
+
+
+def test_corrupted_crc_rejected():
+    blob = bytearray(Envelope(FILE_KIND_SST, 4, "dek-x", b"n" * 16).encode())
+    blob[8] ^= 0xFF
+    with pytest.raises(CorruptionError):
+        decode_envelope(bytes(blob))
+
+
+def test_unsupported_version_rejected():
+    blob = bytearray(Envelope(FILE_KIND_SST, 0, "", b"").encode())
+    blob[4] = 99
+    with pytest.raises(CorruptionError):
+        decode_envelope(bytes(blob))
+
+
+def test_kind_names():
+    assert kind_name(FILE_KIND_WAL) == "wal"
+    assert kind_name(FILE_KIND_SST) == "sst"
+    assert kind_name(FILE_KIND_MANIFEST) == "manifest"
+    assert kind_name(42) == "unknown"
+
+
+@given(
+    kind=st.sampled_from([FILE_KIND_WAL, FILE_KIND_SST, FILE_KIND_MANIFEST]),
+    scheme=st.integers(min_value=0, max_value=255),
+    dek_id=st.text(min_size=0, max_size=40).map(lambda s: s.replace("\x00", "")),
+    nonce=st.binary(max_size=32),
+)
+def test_roundtrip_property(kind, scheme, dek_id, nonce):
+    envelope = Envelope(kind, scheme, dek_id, nonce)
+    encoded = envelope.encode()
+    assert len(encoded) <= MAX_ENVELOPE_SIZE
+    decoded = decode_envelope(encoded)
+    assert decoded.file_kind == kind
+    assert decoded.scheme_id == scheme
+    assert decoded.dek_id == dek_id
+    assert decoded.nonce == nonce

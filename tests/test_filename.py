@@ -1,0 +1,31 @@
+"""Tests for database file naming."""
+
+from repro.lsm.filename import (
+    current_path,
+    manifest_path,
+    parse_file_name,
+    sst_path,
+    wal_path,
+)
+
+
+def test_path_builders():
+    assert sst_path("/db", 7) == "/db/000007.sst"
+    assert wal_path("/db", 12) == "/db/000012.log"
+    assert manifest_path("/db", 3) == "/db/MANIFEST-000003"
+    assert current_path("/db") == "/db/CURRENT"
+
+
+def test_parse_roundtrip():
+    assert parse_file_name("000007.sst") == ("sst", 7)
+    assert parse_file_name("000012.log") == ("wal", 12)
+    assert parse_file_name("MANIFEST-000003") == ("manifest", 3)
+    assert parse_file_name("CURRENT") == ("current", 0)
+
+
+def test_parse_rejects_noise():
+    assert parse_file_name("readme.txt") is None
+    assert parse_file_name("07.sst") is None
+    assert parse_file_name("000007.sst.bak") is None
+    assert parse_file_name("MANIFEST-") is None
+    assert parse_file_name("") is None

@@ -1,0 +1,93 @@
+"""Tests for merging iterators and visibility collapsing."""
+
+from hypothesis import given, strategies as st
+
+from repro.lsm.dbformat import TYPE_DELETE, TYPE_PUT
+from repro.lsm.iterator import merge_entries, newest_visible
+
+
+def test_merge_two_sources():
+    a = [(b"a", 1, TYPE_PUT, b"1"), (b"c", 3, TYPE_PUT, b"3")]
+    b = [(b"b", 2, TYPE_PUT, b"2")]
+    merged = list(merge_entries([a, b]))
+    assert [e[0] for e in merged] == [b"a", b"b", b"c"]
+
+
+def test_merge_orders_same_key_newest_first():
+    a = [(b"k", 1, TYPE_PUT, b"old")]
+    b = [(b"k", 5, TYPE_PUT, b"new")]
+    merged = list(merge_entries([a, b]))
+    assert merged[0][3] == b"new"
+    assert merged[1][3] == b"old"
+
+
+def test_newest_visible_dedupes():
+    entries = [
+        (b"k", 5, TYPE_PUT, b"new"),
+        (b"k", 1, TYPE_PUT, b"old"),
+        (b"l", 2, TYPE_PUT, b"x"),
+    ]
+    visible = list(newest_visible(entries))
+    assert visible == [(b"k", 5, TYPE_PUT, b"new"), (b"l", 2, TYPE_PUT, b"x")]
+
+
+def test_newest_visible_hides_tombstoned_keys():
+    entries = [
+        (b"k", 5, TYPE_DELETE, b""),
+        (b"k", 1, TYPE_PUT, b"old"),
+    ]
+    assert list(newest_visible(entries)) == []
+
+
+def test_newest_visible_keeps_tombstones_when_asked():
+    entries = [
+        (b"k", 5, TYPE_DELETE, b""),
+        (b"k", 1, TYPE_PUT, b"old"),
+    ]
+    kept = list(newest_visible(entries, keep_tombstones=True))
+    assert kept == [(b"k", 5, TYPE_DELETE, b"")]
+
+
+def test_snapshot_filtering():
+    entries = [
+        (b"k", 9, TYPE_PUT, b"future"),
+        (b"k", 4, TYPE_PUT, b"past"),
+    ]
+    visible = list(newest_visible(entries, snapshot_seq=5))
+    assert visible == [(b"k", 4, TYPE_PUT, b"past")]
+
+
+def test_snapshot_resurrects_overwritten_value():
+    entries = [
+        (b"k", 9, TYPE_DELETE, b""),
+        (b"k", 4, TYPE_PUT, b"alive-at-5"),
+    ]
+    assert list(newest_visible(entries, snapshot_seq=5))[0][3] == b"alive-at-5"
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.binary(min_size=1, max_size=4),
+            st.binary(max_size=4),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_merged_stream_matches_dict_semantics(ops):
+    # Assign unique ascending sequences; split ops across 3 sources.
+    sources = [[], [], []]
+    reference = {}
+    for seq, (key, value) in enumerate(ops, start=1):
+        sources[seq % 3].append((key, seq, TYPE_PUT, value))
+        reference[key] = value
+    from repro.lsm.dbformat import MAX_SEQUENCE
+
+    sorted_sources = [
+        sorted(src, key=lambda e: (e[0], MAX_SEQUENCE - e[1])) for src in sources
+    ]
+    visible = list(newest_visible(merge_entries(sorted_sources)))
+    assert {k: v for k, __, ___, v in visible} == reference
+    keys = [entry[0] for entry in visible]
+    assert keys == sorted(keys)

@@ -1,0 +1,101 @@
+"""Tests for the KDS implementations: provisioning, authorization,
+one-time fetch, revocation, and the latency model."""
+
+import pytest
+
+from repro.errors import AuthorizationError, NotFoundError, ProvisioningError
+from repro.keys.kds import DEFAULT_KDS_LATENCY_S, InMemoryKDS, SimulatedKDS
+from repro.util.clock import VirtualClock
+
+
+def test_inmemory_provision_and_fetch():
+    kds = InMemoryKDS()
+    dek = kds.provision("server-1")
+    assert kds.fetch("anyone", dek.dek_id) == dek
+    assert kds.live_dek_count() == 1
+
+
+def test_inmemory_unknown_dek():
+    kds = InMemoryKDS()
+    with pytest.raises(NotFoundError):
+        kds.fetch("s", "dek-nope")
+
+
+def test_inmemory_retire():
+    kds = InMemoryKDS()
+    dek = kds.provision("s")
+    kds.retire(dek.dek_id)
+    assert not kds.knows(dek.dek_id)
+    with pytest.raises(NotFoundError):
+        kds.fetch("s", dek.dek_id)
+    # Retiring twice is harmless.
+    kds.retire(dek.dek_id)
+
+
+def test_inmemory_stats():
+    kds = InMemoryKDS()
+    dek = kds.provision("s")
+    kds.fetch("s", dek.dek_id)
+    snap = kds.stats.snapshot()
+    assert snap["kds.provisions"] == 1
+    assert snap["kds.fetches"] == 1
+
+
+def _authorized_kds(**kwargs):
+    kds = SimulatedKDS(clock=VirtualClock(), **kwargs)
+    kds.authorize_server("compute-1")
+    return kds
+
+
+def test_simulated_requires_authorization():
+    kds = _authorized_kds()
+    with pytest.raises(AuthorizationError):
+        kds.provision("rogue")
+    dek = kds.provision("compute-1")
+    with pytest.raises(AuthorizationError):
+        kds.fetch("rogue", dek.dek_id)
+
+
+def test_simulated_revocation_blocks_breached_server():
+    kds = _authorized_kds()
+    dek = kds.provision("compute-1")
+    kds.revoke_server("compute-1")
+    assert not kds.is_authorized("compute-1")
+    with pytest.raises(AuthorizationError):
+        kds.fetch("compute-1", dek.dek_id)
+    # Re-authorization restores access.
+    kds.authorize_server("compute-1")
+    assert kds.fetch("compute-1", dek.dek_id) == dek
+
+
+def test_simulated_latency_charged():
+    clock = VirtualClock()
+    kds = SimulatedKDS(clock=clock, request_latency_s=DEFAULT_KDS_LATENCY_S)
+    kds.authorize_server("s")
+    dek = kds.provision("s")
+    kds.fetch("s", dek.dek_id)
+    assert clock.total_slept == pytest.approx(2 * DEFAULT_KDS_LATENCY_S)
+
+
+def test_one_time_fetch_denies_second_request():
+    kds = _authorized_kds(one_time_fetch=True)
+    kds.authorize_server("compaction-1")
+    dek = kds.provision("compute-1")
+    assert kds.fetch("compaction-1", dek.dek_id) == dek
+    # An attacker who stole the plaintext DEK-ID gets denied, even if the
+    # server it runs on is nominally authorized.
+    with pytest.raises(ProvisioningError):
+        kds.fetch("compute-1", dek.dek_id)
+
+
+def test_one_time_fetch_off_by_default():
+    kds = _authorized_kds()
+    dek = kds.provision("compute-1")
+    kds.fetch("compute-1", dek.dek_id)
+    kds.fetch("compute-1", dek.dek_id)  # no error
+
+
+def test_latency_histogram_recorded():
+    kds = _authorized_kds()
+    kds.provision("compute-1")
+    assert kds.stats.histogram("kds.request_latency").count == 1

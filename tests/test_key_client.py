@@ -1,0 +1,76 @@
+"""Tests for the KeyClient façade (KDS + secure cache)."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.keys.cache import SecureDEKCache
+from repro.keys.client import KeyClient
+from repro.keys.kds import InMemoryKDS, SimulatedKDS
+from repro.util.clock import VirtualClock
+
+
+def test_new_dek_provisioned_and_cached(tmp_path):
+    kds = InMemoryKDS()
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pw", iterations=10)
+    client = KeyClient(kds, "server-1", cache=cache)
+    dek = client.new_dek()
+    assert cache.get(dek.dek_id) == dek
+    assert kds.knows(dek.dek_id)
+
+
+def test_get_dek_prefers_cache(tmp_path):
+    clock = VirtualClock()
+    kds = SimulatedKDS(clock=clock, request_latency_s=1.0)
+    kds.authorize_server("server-1")
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pw", iterations=10)
+    client = KeyClient(kds, "server-1", cache=cache)
+    dek = client.new_dek()
+    slept_after_provision = clock.total_slept
+    for _ in range(5):
+        assert client.get_dek(dek.dek_id) == dek
+    # No further KDS latency was charged: the cache absorbed all lookups.
+    assert clock.total_slept == slept_after_provision
+    assert client.stats.counter("keyclient.cache_hits").value == 5
+    assert client.stats.counter("keyclient.kds_fetches").value == 0
+
+
+def test_get_dek_falls_back_to_kds():
+    kds = InMemoryKDS()
+    producer = KeyClient(kds, "server-1")
+    consumer = KeyClient(kds, "server-2")
+    dek = producer.new_dek()
+    assert consumer.get_dek(dek.dek_id) == dek
+    assert consumer.stats.counter("keyclient.kds_fetches").value == 1
+
+
+def test_kds_fetch_populates_cache(tmp_path):
+    kds = InMemoryKDS()
+    producer = KeyClient(kds, "server-1")
+    dek = producer.new_dek()
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pw", iterations=10)
+    consumer = KeyClient(kds, "server-2", cache=cache)
+    consumer.get_dek(dek.dek_id)
+    assert cache.get(dek.dek_id) == dek
+    consumer.get_dek(dek.dek_id)
+    assert consumer.stats.counter("keyclient.kds_fetches").value == 1
+
+
+def test_retire_removes_everywhere(tmp_path):
+    kds = InMemoryKDS()
+    cache = SecureDEKCache(str(tmp_path / "c.db"), "pw", iterations=10)
+    client = KeyClient(kds, "server-1", cache=cache)
+    dek = client.new_dek()
+    client.retire_dek(dek.dek_id)
+    assert not kds.knows(dek.dek_id)
+    assert cache.get(dek.dek_id) is None
+    with pytest.raises(NotFoundError):
+        client.get_dek(dek.dek_id)
+
+
+def test_default_scheme_override():
+    client = KeyClient(InMemoryKDS(), "s", default_scheme="aes-128-ctr")
+    dek = client.new_dek()
+    assert dek.scheme == "aes-128-ctr"
+    assert len(dek.key) == 16
+    chacha = client.new_dek(scheme="chacha20")
+    assert chacha.scheme == "chacha20"

@@ -1,0 +1,120 @@
+"""Tests for the byte-charged LRU cache."""
+
+import threading
+
+import pytest
+
+from repro.util.lru import LRUCache
+
+
+def test_basic_put_get():
+    cache = LRUCache(100)
+    cache.put("a", 1, charge=10)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default=-1) == -1
+
+
+def test_eviction_by_charge():
+    cache = LRUCache(30)
+    cache.put("a", "A", charge=10)
+    cache.put("b", "B", charge=10)
+    cache.put("c", "C", charge=10)
+    cache.put("d", "D", charge=10)  # evicts "a"
+    assert cache.get("a") is None
+    assert cache.get("d") == "D"
+    assert cache.evictions == 1
+
+
+def test_get_refreshes_recency():
+    cache = LRUCache(20)
+    cache.put("a", "A", charge=10)
+    cache.put("b", "B", charge=10)
+    cache.get("a")
+    cache.put("c", "C", charge=10)  # should evict "b", not "a"
+    assert cache.get("a") == "A"
+    assert cache.get("b") is None
+
+
+def test_overwrite_updates_charge():
+    cache = LRUCache(20)
+    cache.put("a", "A", charge=10)
+    cache.put("a", "A2", charge=5)
+    assert cache.usage == 5
+    assert cache.get("a") == "A2"
+    assert len(cache) == 1
+
+
+def test_oversized_entry_evicts_everything_else():
+    cache = LRUCache(10)
+    cache.put("a", "A", charge=5)
+    cache.put("big", "B", charge=50)
+    # The oversized entry itself stays (capacity is a soft target once the
+    # cache is down to one entry), everything else is gone.
+    assert cache.get("a") is None
+
+
+def test_remove_and_clear():
+    cache = LRUCache(100)
+    cache.put("a", 1, charge=10)
+    cache.remove("a")
+    assert cache.get("a") is None
+    assert cache.usage == 0
+    cache.put("b", 2, charge=10)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.usage == 0
+
+
+def test_get_or_load():
+    cache = LRUCache(100)
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return "loaded", 10
+
+    assert cache.get_or_load("k", loader) == "loaded"
+    assert cache.get_or_load("k", loader) == "loaded"
+    assert len(calls) == 1
+
+
+def test_contains():
+    cache = LRUCache(100)
+    cache.put("a", 1)
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_hit_miss_accounting():
+    cache = LRUCache(100)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_thread_safety_smoke():
+    cache = LRUCache(1000)
+    errors = []
+
+    def worker(worker_id):
+        try:
+            for i in range(200):
+                cache.put((worker_id, i), i, charge=1)
+                cache.get((worker_id, i))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors

@@ -1,0 +1,87 @@
+"""Tests for both memtable implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm.dbformat import TYPE_DELETE, TYPE_PUT
+from repro.lsm.memtable import DictMemtable, SkipListMemtable, make_memtable
+
+
+@pytest.fixture(params=["skiplist", "dict"])
+def memtable(request):
+    return make_memtable(request.param)
+
+
+def test_put_get(memtable):
+    memtable.add(1, TYPE_PUT, b"key", b"value")
+    assert memtable.get(b"key") == (TYPE_PUT, b"value")
+    assert memtable.get(b"missing") is None
+
+
+def test_newest_version_wins(memtable):
+    memtable.add(1, TYPE_PUT, b"k", b"v1")
+    memtable.add(2, TYPE_PUT, b"k", b"v2")
+    assert memtable.get(b"k") == (TYPE_PUT, b"v2")
+
+
+def test_snapshot_reads(memtable):
+    memtable.add(5, TYPE_PUT, b"k", b"old")
+    memtable.add(9, TYPE_PUT, b"k", b"new")
+    assert memtable.get(b"k", max_seq=5) == (TYPE_PUT, b"old")
+    assert memtable.get(b"k", max_seq=8) == (TYPE_PUT, b"old")
+    assert memtable.get(b"k", max_seq=9) == (TYPE_PUT, b"new")
+    assert memtable.get(b"k", max_seq=4) is None
+
+
+def test_delete_visible(memtable):
+    memtable.add(1, TYPE_PUT, b"k", b"v")
+    memtable.add(2, TYPE_DELETE, b"k", b"")
+    assert memtable.get(b"k") == (TYPE_DELETE, b"")
+
+
+def test_entries_sorted(memtable):
+    memtable.add(3, TYPE_PUT, b"b", b"3")
+    memtable.add(1, TYPE_PUT, b"a", b"1")
+    memtable.add(2, TYPE_PUT, b"b", b"2")
+    entries = list(memtable.entries())
+    assert [(e[0], e[1]) for e in entries] == [(b"a", 1), (b"b", 3), (b"b", 2)]
+
+
+def test_sizes(memtable):
+    assert len(memtable) == 0
+    assert memtable.approximate_size() == 0
+    memtable.add(1, TYPE_PUT, b"key", b"value")
+    assert len(memtable) == 1
+    assert memtable.approximate_size() >= len(b"key") + len(b"value")
+
+
+def test_prefix_keys_not_confused(memtable):
+    memtable.add(1, TYPE_PUT, b"abc", b"1")
+    memtable.add(2, TYPE_PUT, b"ab", b"2")
+    assert memtable.get(b"ab") == (TYPE_PUT, b"2")
+    assert memtable.get(b"abc") == (TYPE_PUT, b"1")
+    assert memtable.get(b"a") is None
+
+
+def test_make_memtable_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_memtable("btree")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=8), st.binary(max_size=8)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_implementations_agree(ops):
+    skip = SkipListMemtable(seed=7)
+    dct = DictMemtable()
+    for seq, (key, value) in enumerate(ops, start=1):
+        skip.add(seq, TYPE_PUT, key, value)
+        dct.add(seq, TYPE_PUT, key, value)
+    assert list(skip.entries()) == list(dct.entries())
+    for __, (key, _v) in enumerate(ops):
+        assert skip.get(key) == dct.get(key)

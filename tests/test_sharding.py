@@ -1,0 +1,127 @@
+"""Tests for the sharded deployment and the shared secure DEK cache."""
+
+import pytest
+
+from repro.dist.sharding import ShardedDB, shard_for_key
+from repro.env.mem import MemEnv
+from repro.keys.cache import SecureDEKCache
+from repro.keys.kds import SimulatedKDS
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+from repro.shield import ShieldOptions, open_shield_db
+from repro.util.clock import VirtualClock
+
+
+def _plain_sharded(num_shards=4):
+    env = MemEnv()
+
+    def make_shard(index, path):
+        return DB(path, Options(env=env, write_buffer_size=4 * 1024))
+
+    return ShardedDB("/cluster", num_shards, make_shard)
+
+
+def test_shard_routing_stable_and_in_range():
+    for key in (b"a", b"hello", b"key-123", b"\x00\xff"):
+        index = shard_for_key(key, 8)
+        assert 0 <= index < 8
+        assert shard_for_key(key, 8) == index  # deterministic
+
+
+def test_shard_routing_spreads_keys():
+    counts = [0] * 8
+    for i in range(4000):
+        counts[shard_for_key(b"key-%05d" % i, 8)] += 1
+    assert min(counts) > 4000 / 8 * 0.5  # no pathological skew
+
+
+def test_put_get_delete_across_shards():
+    with _plain_sharded() as cluster:
+        for i in range(500):
+            cluster.put(b"key-%04d" % i, b"v-%04d" % i)
+        for i in range(0, 500, 29):
+            assert cluster.get(b"key-%04d" % i) == b"v-%04d" % i
+        cluster.delete(b"key-0058")
+        assert cluster.get(b"key-0058") is None
+
+
+def test_batch_split_by_shard():
+    with _plain_sharded() as cluster:
+        batch = WriteBatch()
+        for i in range(50):
+            batch.put(b"bk-%03d" % i, b"v")
+        batch.delete(b"bk-007")
+        cluster.write(batch)
+        assert cluster.get(b"bk-007") is None
+        assert cluster.get(b"bk-008") == b"v"
+
+
+def test_cross_shard_scan_merged_sorted():
+    with _plain_sharded() as cluster:
+        for i in range(200):
+            cluster.put(b"key-%04d" % i, b"%d" % i)
+        results = cluster.scan(b"key-0050", b"key-0060")
+        assert [k for k, __ in results] == [b"key-%04d" % i for i in range(50, 60)]
+        limited = cluster.scan(limit=7)
+        assert len(limited) == 7
+        keys = [k for k, __ in limited]
+        assert keys == sorted(keys)
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ValueError):
+        ShardedDB("/c", 0, lambda i, p: None)
+
+
+def test_stats_totals_aggregate():
+    with _plain_sharded(num_shards=2) as cluster:
+        for i in range(100):
+            cluster.put(b"key-%04d" % i, b"v")
+        totals = cluster.stats_totals()
+        assert totals["db.writes"] == 100
+
+
+def test_colocated_shards_share_secure_cache(tmp_path):
+    """ZippyDB-style: many SHIELD instances on one server share one
+    passkey-protected DEK cache, so restarts hit the KDS zero times."""
+    clock = VirtualClock()
+    kds = SimulatedKDS(clock=clock, request_latency_s=0.001)
+    kds.authorize_server("server-1")
+    env = MemEnv()
+    cache = SecureDEKCache(str(tmp_path / "shared-cache"), "pw", iterations=10)
+
+    def make_shard(index, path):
+        shield = ShieldOptions(
+            kds=kds, server_id="server-1", dek_cache=cache, wal_buffer_size=0
+        )
+        return open_shield_db(
+            path, shield, Options(env=env, write_buffer_size=4 * 1024)
+        )
+
+    cluster = ShardedDB("/cluster", 3, make_shard)
+    for i in range(600):
+        cluster.put(b"key-%04d" % i, b"v" * 40)
+    cluster.flush()
+    cluster.close()
+    assert len(cache) > 0
+
+    # Restart every shard: all DEKs come from the shared local cache.
+    slept_before = clock.total_slept
+    cluster = ShardedDB("/cluster", 3, make_shard)
+    try:
+        for i in range(0, 600, 61):
+            assert cluster.get(b"key-%04d" % i) == b"v" * 40
+        providers = [shard.options.crypto_provider for shard in cluster.shards]
+        fetches = sum(
+            provider.key_client.stats.counter("keyclient.kds_fetches").value
+            for provider in providers
+        )
+        assert fetches == 0
+        hits = sum(
+            provider.key_client.stats.counter("keyclient.cache_hits").value
+            for provider in providers
+        )
+        assert hits > 0
+    finally:
+        cluster.close()

@@ -1,0 +1,173 @@
+"""Tests for SST building and reading, plaintext and encrypted."""
+
+import pytest
+
+from repro.crypto.cipher import generate_key
+from repro.env.mem import MemEnv
+from repro.errors import CorruptionError, EncryptionError, InvalidArgumentError
+from repro.lsm.dbformat import TYPE_DELETE, TYPE_PUT
+from repro.lsm.filecrypto import PlaintextCryptoProvider, SingleKeyCryptoProvider
+from repro.lsm.envelope import FILE_KIND_SST
+from repro.lsm.options import Options
+from repro.lsm.sst import SSTBuilder, SSTReader
+from repro.util.lru import LRUCache
+
+
+def _build(env, provider, path="/db/000001.sst", n=500, options=None):
+    options = options or Options()
+    crypto = provider.for_new_file(FILE_KIND_SST, path)
+    builder = SSTBuilder(env, path, crypto, options)
+    for i in range(n):
+        builder.add(b"key-%06d" % i, i + 1, TYPE_PUT, b"value-%06d" % i)
+    return builder.finish(), options
+
+
+def test_plaintext_build_and_get():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    info, options = _build(env, provider)
+    assert info.num_entries == 500
+    assert info.smallest_key == b"key-000000"
+    assert info.largest_key == b"key-000499"
+    reader = SSTReader(env, info.path, provider, options)
+    assert reader.get(b"key-000123") == (TYPE_PUT, b"value-000123")
+    assert reader.get(b"key-999999") is None
+    assert reader.get(b"before") is None
+    assert reader.num_entries == 500
+
+
+def test_encrypted_build_hides_plaintext():
+    env = MemEnv()
+    provider = SingleKeyCryptoProvider("shake-ctr", generate_key("shake-ctr"))
+    info, options = _build(env, provider)
+    raw = env.read_file(info.path)
+    assert b"value-000123" not in raw
+    assert b"key-000123" not in raw
+    reader = SSTReader(env, info.path, provider, options)
+    assert reader.get(b"key-000123") == (TYPE_PUT, b"value-000123")
+
+
+def test_wrong_key_fails_loudly():
+    env = MemEnv()
+    writer_provider = SingleKeyCryptoProvider("shake-ctr", b"a" * 32)
+    info, options = _build(env, writer_provider)
+    reader_provider = SingleKeyCryptoProvider("shake-ctr", b"b" * 32)
+    with pytest.raises(CorruptionError):
+        SSTReader(env, info.path, reader_provider, options)
+
+
+def test_plaintext_provider_rejects_encrypted_file():
+    env = MemEnv()
+    provider = SingleKeyCryptoProvider("shake-ctr", generate_key("shake-ctr"))
+    info, options = _build(env, provider)
+    with pytest.raises(EncryptionError):
+        SSTReader(env, info.path, PlaintextCryptoProvider(), options)
+
+
+def test_dek_id_in_envelope_and_properties():
+    env = MemEnv()
+    provider = SingleKeyCryptoProvider(
+        "shake-ctr", generate_key("shake-ctr"), dek_id="dek-sst-42"
+    )
+    info, options = _build(env, provider)
+    assert info.dek_id == "dek-sst-42"
+    reader = SSTReader(env, info.path, provider, options)
+    assert reader.dek_id == "dek-sst-42"
+    assert reader.properties["shield.dek_id"] == "dek-sst-42"
+
+
+def test_entries_iteration_ordered():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    info, options = _build(env, provider, n=300)
+    reader = SSTReader(env, info.path, provider, options)
+    entries = list(reader.entries())
+    assert len(entries) == 300
+    assert entries == sorted(entries, key=lambda e: e[0])
+
+
+def test_entries_from():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    info, options = _build(env, provider, n=100)
+    reader = SSTReader(env, info.path, provider, options)
+    tail = list(reader.entries_from(b"key-000090"))
+    assert len(tail) == 10
+    assert tail[0][0] == b"key-000090"
+
+
+def test_deletes_stored():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    options = Options()
+    crypto = provider.for_new_file(FILE_KIND_SST, "/1.sst")
+    builder = SSTBuilder(env, "/1.sst", crypto, options)
+    builder.add(b"a", 2, TYPE_DELETE, b"")
+    builder.add(b"b", 1, TYPE_PUT, b"v")
+    info = builder.finish()
+    reader = SSTReader(env, "/1.sst", provider, options)
+    assert reader.get(b"a") == (TYPE_DELETE, b"")
+    assert reader.get(b"b") == (TYPE_PUT, b"v")
+
+
+def test_out_of_order_add_rejected():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    builder = SSTBuilder(
+        env, "/1.sst", provider.for_new_file(FILE_KIND_SST, "/1.sst"), Options()
+    )
+    builder.add(b"b", 1, TYPE_PUT, b"")
+    with pytest.raises(InvalidArgumentError):
+        builder.add(b"a", 2, TYPE_PUT, b"")
+    # Same key must come newest (highest seq) first.
+    builder.add(b"c", 5, TYPE_PUT, b"")
+    with pytest.raises(InvalidArgumentError):
+        builder.add(b"c", 7, TYPE_PUT, b"")
+
+
+def test_empty_builder_rejected():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    builder = SSTBuilder(
+        env, "/1.sst", provider.for_new_file(FILE_KIND_SST, "/1.sst"), Options()
+    )
+    with pytest.raises(InvalidArgumentError):
+        builder.finish()
+
+
+def test_block_cache_used():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    info, options = _build(env, provider, n=1000)
+    cache = LRUCache(10 * 1024 * 1024)
+    reader = SSTReader(env, info.path, provider, options, block_cache=cache)
+    reader.get(b"key-000500")
+    hits_before = cache.hits
+    reader.get(b"key-000500")
+    assert cache.hits == hits_before + 1
+
+
+def test_corrupt_block_detected():
+    env = MemEnv()
+    provider = PlaintextCryptoProvider()
+    info, options = _build(env, provider, n=200)
+    raw = bytearray(env.read_file(info.path))
+    raw[200] ^= 0xFF  # flip a bit inside some data block
+    env.write_file(info.path, bytes(raw))
+    reader = SSTReader(env, info.path, provider, options)
+    with pytest.raises(CorruptionError):
+        for key in (b"key-%06d" % i for i in range(200)):
+            reader.get(key)
+
+
+def test_multithreaded_chunked_encryption_matches_sequential():
+    env = MemEnv()
+    key = generate_key("shake-ctr")
+    base_options = Options(encryption_chunk_size=1024, encryption_threads=1)
+    threaded_options = Options(encryption_chunk_size=1024, encryption_threads=4)
+    provider = SingleKeyCryptoProvider("shake-ctr", key)
+    info_seq, _ = _build(env, provider, path="/seq.sst", options=base_options)
+    info_thr, _ = _build(env, provider, path="/thr.sst", options=threaded_options)
+    reader = SSTReader(env, "/thr.sst", provider, threaded_options)
+    assert reader.get(b"key-000321") == (TYPE_PUT, b"value-000321")
+    assert info_seq.num_entries == info_thr.num_entries

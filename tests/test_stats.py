@@ -1,0 +1,66 @@
+"""Tests for counters, histograms, and the stats registry."""
+
+from repro.util.stats import Counter, Histogram, StatsRegistry, percentile_exact
+
+
+def test_counter():
+    counter = Counter("ops")
+    counter.add()
+    counter.add(5)
+    assert counter.value == 6
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_histogram_empty():
+    hist = Histogram()
+    assert hist.percentile(99) == 0.0
+    assert hist.mean == 0.0
+    assert hist.count == 0
+
+
+def test_histogram_single_value():
+    hist = Histogram()
+    hist.record(0.5)
+    assert hist.count == 1
+    assert abs(hist.mean - 0.5) < 1e-9
+    assert hist.min == hist.max == 0.5
+    # Approximate percentile must be within bucket tolerance of the value.
+    assert 0.4 < hist.percentile(50) <= 0.5
+
+
+def test_histogram_percentile_accuracy():
+    hist = Histogram()
+    for i in range(1, 1001):
+        hist.record(i / 1000.0)
+    p50 = hist.percentile(50)
+    p99 = hist.percentile(99)
+    assert 0.45 < p50 < 0.55
+    assert 0.94 < p99 <= 1.0
+    assert p99 > p50
+
+
+def test_histogram_clamps_negative():
+    hist = Histogram()
+    hist.record(-5.0)
+    assert hist.min == 0.0
+
+
+def test_registry_reuse_and_snapshot():
+    registry = StatsRegistry()
+    registry.counter("io.reads").add(3)
+    assert registry.counter("io.reads").value == 3
+    registry.histogram("lat").record(0.1)
+    snap = registry.snapshot()
+    assert snap["io.reads"] == 3
+    assert snap["lat.count"] == 1
+    registry.reset()
+    assert registry.counter("io.reads").value == 0
+
+
+def test_percentile_exact():
+    values = [float(i) for i in range(1, 101)]
+    assert percentile_exact(values, 50) == 50.5
+    assert percentile_exact(values, 100) == 100.0
+    assert percentile_exact(values, 0) == 1.0
+    assert percentile_exact([], 50) == 0.0

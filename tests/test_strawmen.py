@@ -1,0 +1,173 @@
+"""Tests for the two strawman designs the paper rejects: the dual-WAL and
+the KDS-side file->DEK mapping.  They must *work* (so the ablation
+benchmarks are fair) while exhibiting exactly the flaws the paper cites."""
+
+import time
+
+import pytest
+
+from repro.crypto.cipher import generate_key, generate_nonce, scheme_id
+from repro.env.mem import MemEnv
+from repro.errors import KeyManagementError, NotFoundError
+from repro.lsm.db import DB
+from repro.lsm.envelope import FILE_KIND_SST
+from repro.lsm.filecrypto import FileCrypto, PlaintextCryptoProvider
+from repro.lsm.options import Options
+from repro.lsm.wal import read_wal_records
+from repro.shield.dualwal import DualWALWriter
+from repro.shield.naive_mapping import MappingCryptoProvider, MappingKDS
+from repro.util.clock import VirtualClock
+
+
+def _crypto():
+    return FileCrypto(
+        scheme_id("shake-ctr"), "dek-dw", generate_key("shake-ctr"),
+        generate_nonce("shake-ctr"),
+    )
+
+
+class _Resolver(PlaintextCryptoProvider):
+    def __init__(self, crypto):
+        self._crypto = crypto
+
+    def for_existing_file(self, envelope, path):
+        if envelope.encrypted:
+            return self._crypto
+        return super().for_existing_file(envelope, path)
+
+
+def _drain(writer, timeout=5.0):
+    deadline = time.time() + timeout
+    while writer.encrypted_backlog and time.time() < deadline:
+        time.sleep(0.005)
+
+
+def test_dual_wal_writes_both_logs():
+    env = MemEnv()
+    crypto = _crypto()
+    writer = DualWALWriter(env, "/dw.log", crypto)
+    records = [b"record-%d" % i for i in range(20)]
+    for record in records:
+        writer.add_record(record)
+    _drain(writer)
+    writer.close()
+    plain = read_wal_records(env, "/dw.log.plain", PlaintextCryptoProvider())
+    encrypted = read_wal_records(env, "/dw.log", _Resolver(crypto))
+    assert plain == records
+    assert encrypted == records
+
+
+def test_dual_wal_security_hole_plaintext_on_disk():
+    """The flaw the paper calls out: the primary log is plaintext."""
+    env = MemEnv()
+    writer = DualWALWriter(env, "/dw.log", _crypto())
+    writer.add_record(b"CONFIDENTIAL-RECORD")
+    writer.sync()
+    raw = env.read_file("/dw.log.plain")
+    assert b"CONFIDENTIAL-RECORD" in raw
+    writer.close()
+
+
+def test_dual_wal_crash_recovers_from_plaintext_primary():
+    env = MemEnv()
+    crypto = _crypto()
+    writer = DualWALWriter(env, "/dw.log", crypto)
+    for i in range(50):
+        writer.add_record(b"r%02d" % i)
+    writer.sync()
+    # Crash before the encryption worker drains: the encrypted secondary is
+    # behind, the plaintext primary is complete.
+    writer.simulate_process_crash()
+    plain = read_wal_records(env, "/dw.log.plain", PlaintextCryptoProvider())
+    encrypted = read_wal_records(env, "/dw.log", _Resolver(crypto))
+    assert len(plain) == 50
+    assert len(encrypted) <= 50
+
+
+def test_dual_wal_rotation_deletes_plaintext():
+    env = MemEnv()
+    writer = DualWALWriter(env, "/dw.log", _crypto())
+    writer.add_record(b"r")
+    _drain(writer)
+    writer.rotate(env)
+    assert not env.file_exists("/dw.log.plain")
+    assert env.file_exists("/dw.log")
+
+
+def _mapping_setup():
+    clock = VirtualClock()
+    kds = MappingKDS(clock=clock, request_latency_s=0.001)
+    kds.authorize_server("s1")
+    return clock, kds
+
+
+def test_mapping_kds_register_resolve():
+    clock, kds = _mapping_setup()
+    dek = kds.provision("s1")
+    kds.register_file("s1", "/db/000001.sst", dek.dek_id)
+    resolved = kds.resolve_file("s1", "/db/000001.sst")
+    assert resolved == dek
+    with pytest.raises(NotFoundError):
+        kds.resolve_file("s1", "/db/unknown.sst")
+
+
+def test_mapping_kds_rename_fixup():
+    clock, kds = _mapping_setup()
+    dek = kds.provision("s1")
+    kds.register_file("s1", "/db/tmp-0001.sst", dek.dek_id)
+    kds.fixup_rename("s1", "/db/tmp-0001.sst", "/db/000001.sst")
+    assert kds.resolve_file("s1", "/db/000001.sst") == dek
+    with pytest.raises(NotFoundError):
+        kds.resolve_file("s1", "/db/tmp-0001.sst")
+    with pytest.raises(KeyManagementError):
+        kds.fixup_rename("s1", "/db/never-existed", "/db/x")
+
+
+def test_mapping_kds_charges_latency_per_metadata_op():
+    clock, kds = _mapping_setup()
+    dek = kds.provision("s1")              # 1 trip
+    kds.register_file("s1", "/f", dek.dek_id)  # 1 trip
+    kds.resolve_file("s1", "/f")           # 2 trips (resolve + fetch)
+    assert clock.total_slept == pytest.approx(0.004)
+
+
+def test_db_runs_on_mapping_provider():
+    """The strawman is functional end to end (fair ablation baseline)."""
+    clock, kds = _mapping_setup()
+    env = MemEnv()
+    provider = MappingCryptoProvider(kds, "s1")
+    options = Options(
+        env=env,
+        crypto_provider=provider,
+        write_buffer_size=4 * 1024,
+        block_size=1024,
+    )
+    db = DB("/db", options)
+    try:
+        for i in range(500):
+            db.put(b"key-%04d" % i, b"secret-%04d" % i)
+        db.compact_range()
+        for i in range(0, 500, 41):
+            assert db.get(b"key-%04d" % i) == b"secret-%04d" % i
+        assert provider.extra_round_trips > 0
+    finally:
+        db.close()
+    # Reopen: every file open costs a central-mapping round trip.
+    trips_before = MappingCryptoProvider(kds, "s1").extra_round_trips
+    provider2 = MappingCryptoProvider(kds, "s1")
+    db2 = DB("/db", Options(env=env, crypto_provider=provider2))
+    try:
+        assert db2.get(b"key-0000") == b"secret-0000"
+        assert provider2.extra_round_trips > trips_before
+    finally:
+        db2.close()
+
+
+def test_mapping_grows_with_files_single_point_of_failure():
+    clock, kds = _mapping_setup()
+    dek = kds.provision("s1")
+    for i in range(10):
+        kds.register_file("s1", f"/db/{i:06d}.sst", dek.dek_id)
+    assert kds.mapping_size() == 10
+    kds.unregister_file("s1", "/db/000003.sst")
+    assert kds.mapping_size() == 9

@@ -1,0 +1,61 @@
+"""Tests for the SHAKE-256 keystream cipher."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.xof import SEGMENT_SIZE, ShakeCtrCipher
+from repro.errors import EncryptionError
+
+
+def test_keystream_matches_definition():
+    key, nonce = bytes(32), bytes(16)
+    cipher = ShakeCtrCipher(key, nonce)
+    expected = hashlib.shake_256(key + nonce + (0).to_bytes(8, "big")).digest(64)
+    assert cipher.keystream(0, 64) == expected
+
+
+def test_segment_boundary_continuity():
+    cipher = ShakeCtrCipher(bytes(32), bytes(16))
+    around = cipher.keystream(SEGMENT_SIZE - 10, 20)
+    left = cipher.keystream(SEGMENT_SIZE - 10, 10)
+    right = cipher.keystream(SEGMENT_SIZE, 10)
+    assert around == left + right
+
+
+def test_random_access_consistency():
+    cipher = ShakeCtrCipher(bytes(32), bytes(16))
+    full = cipher.keystream(0, 3 * SEGMENT_SIZE)
+    assert cipher.keystream(5000, 2000) == full[5000:7000]
+
+
+def test_key_and_nonce_separation():
+    data = b"x" * 64
+    base = ShakeCtrCipher(bytes(32), bytes(16)).xor_at(data, 0)
+    other_key = ShakeCtrCipher(b"\x01" + bytes(31), bytes(16)).xor_at(data, 0)
+    other_nonce = ShakeCtrCipher(bytes(32), b"\x01" + bytes(15)).xor_at(data, 0)
+    assert base != other_key
+    assert base != other_nonce
+
+
+def test_bad_sizes():
+    with pytest.raises(EncryptionError):
+        ShakeCtrCipher(bytes(16), bytes(16))
+    with pytest.raises(EncryptionError):
+        ShakeCtrCipher(bytes(32), bytes(12))
+
+
+def test_empty():
+    cipher = ShakeCtrCipher(bytes(32), bytes(16))
+    assert cipher.keystream(0, 0) == b""
+    assert cipher.xor_at(b"", 123) == b""
+
+
+@given(
+    st.binary(max_size=2 * SEGMENT_SIZE),
+    st.integers(min_value=0, max_value=3 * SEGMENT_SIZE),
+)
+def test_involution(data, offset):
+    cipher = ShakeCtrCipher(bytes(32), bytes(16))
+    assert cipher.xor_at(cipher.xor_at(data, offset), offset) == data
