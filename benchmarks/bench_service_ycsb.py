@@ -1,0 +1,49 @@
+"""Serving tier: YCSB A/B/C through the socket front-end.
+
+Not a paper figure -- this measures the repo's own serving tier so the
+network request path (framing, CRC, bounded queue, response matching)
+has a tracked number next to the embedded-engine results.  The encrypted
+server must stay within an order of magnitude of useful throughput and
+the read-only workload (C) must not be slower than the write-heavy one
+(A) by more than harness noise.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench.harness import format_table
+from repro.bench.service import ServiceBenchSpec, run_service_benchmarks
+
+_SPEC = ServiceBenchSpec(
+    workloads=("A", "B", "C"),
+    record_count=1200,
+    operation_count=1000,
+    value_size=256,
+)
+
+
+def _experiment():
+    return run_service_benchmarks(_SPEC)
+
+
+def test_service_ycsb_over_socket(benchmark):
+    results = run_once(benchmark, _experiment)
+    table = format_table(
+        "service: YCSB over the socket client",
+        results,
+        extra_columns=["read", "update", "busy_retries"],
+    )
+    emit("service_ycsb", table)
+
+    by_name = {result.name: result for result in results}
+    for workload in ("A", "B", "C"):
+        row = by_name[f"socket-ycsb-{workload}"]
+        assert row.ops == _SPEC.operation_count
+        assert row.throughput > 0
+    # YCSB-C is pure zipfian reads; it should not lose to the 50% update
+    # mix by more than scheduling noise on the same socket path.
+    assert (
+        by_name["socket-ycsb-C"].throughput
+        > by_name["socket-ycsb-A"].throughput * 0.5
+    )

@@ -1,0 +1,160 @@
+"""Socket-path benchmarks: the existing workloads driven over the wire.
+
+Runs the YCSB (and optionally mixgraph) workloads against an in-process
+:class:`~repro.service.server.KVServer` through the socket client, so the
+network request path -- framing, CRC, queueing, response matching --
+joins the measurement harness alongside the embedded-engine numbers.
+
+``python -m repro.bench.service`` writes the standard harness table to
+``benchmarks/results/service_ycsb.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.bench.harness import RunResult, format_table
+from repro.bench.mixgraph import MixgraphSpec, preload_mixgraph, run_mixgraph
+from repro.bench.ycsb import YCSBSpec, load_ycsb, run_ycsb
+from repro.keys.kds import InMemoryKDS
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.service.client import KVClient
+from repro.service.server import KVServer, ServiceConfig
+from repro.shield import ShieldOptions, open_shield_db
+
+DEFAULT_RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))),
+    "benchmarks",
+    "results",
+)
+
+
+@dataclass
+class ServiceBenchSpec:
+    """Scaled-down socket benchmark parameters."""
+
+    workloads: tuple = ("A", "B", "C")
+    record_count: int = 1000
+    operation_count: int = 1000
+    value_size: int = 256
+    num_workers: int = 4
+    queue_depth: int = 64
+    shield: bool = True
+    include_mixgraph: bool = False
+    seed: int = 42
+
+
+def _open_engine(spec: ServiceBenchSpec, path: str = "/svc-bench") -> DB:
+    options = Options(write_buffer_size=256 * 1024, slowdown_delay_s=0.0)
+    if not spec.shield:
+        return DB(path, options)
+    shield = ShieldOptions(kds=InMemoryKDS(), server_id="bench-primary")
+    return open_shield_db(path, shield, options)
+
+
+def run_service_benchmarks(spec: ServiceBenchSpec | None = None) -> list[RunResult]:
+    """Measure each workload through the socket; one RunResult per row."""
+    spec = spec or ServiceBenchSpec()
+    results: list[RunResult] = []
+    for workload in spec.workloads:
+        db = _open_engine(spec)
+        server = KVServer(db, ServiceConfig(
+            num_workers=spec.num_workers,
+            max_queue_depth=spec.queue_depth,
+        )).start()
+        host, port = server.address
+        client = KVClient(host, port)
+        try:
+            ycsb = YCSBSpec(
+                record_count=spec.record_count,
+                operation_count=spec.operation_count,
+                value_size=spec.value_size,
+                seed=spec.seed,
+            )
+            load_ycsb(client, ycsb)
+            result = run_ycsb(
+                client, workload, ycsb, name=f"socket-ycsb-{workload}"
+            )
+            result.extra["busy_retries"] = client.busy_retries
+            results.append(result)
+        finally:
+            client.close()
+            server.stop()
+            db.close()
+    if spec.include_mixgraph:
+        db = _open_engine(spec)
+        server = KVServer(db, ServiceConfig(
+            num_workers=spec.num_workers,
+            max_queue_depth=spec.queue_depth,
+        )).start()
+        host, port = server.address
+        client = KVClient(host, port)
+        try:
+            mix = MixgraphSpec(
+                num_ops=spec.operation_count,
+                keyspace=spec.record_count,
+                seed=spec.seed,
+            )
+            preload_mixgraph(client, mix)
+            results.append(run_mixgraph(client, mix, name="socket-mixgraph"))
+        finally:
+            client.close()
+            server.stop()
+            db.close()
+    return results
+
+
+def report_service_benchmarks(
+    spec: ServiceBenchSpec | None = None,
+    results_dir: str | None = None,
+) -> str:
+    """Run, render the harness table, and persist it under results/."""
+    results = run_service_benchmarks(spec)
+    table = format_table(
+        "service: YCSB over the socket client",
+        results,
+        extra_columns=["read", "update", "busy_retries"],
+    )
+    out_dir = results_dir or DEFAULT_RESULTS_DIR
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "service_ycsb.txt"), "w") as handle:
+        handle.write(table + "\n")
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.service",
+        description="Run YCSB workloads over the networked serving tier.",
+    )
+    parser.add_argument("--workloads", default="A,B,C")
+    parser.add_argument("--records", type=int, default=1000)
+    parser.add_argument("--ops", type=int, default=1000)
+    parser.add_argument("--value-size", type=int, default=256)
+    parser.add_argument("--plain", action="store_true",
+                        help="serve an unencrypted engine")
+    parser.add_argument("--mixgraph", action="store_true")
+    parser.add_argument("--results-dir", default=None)
+    args = parser.parse_args(argv)
+    spec = ServiceBenchSpec(
+        workloads=tuple(
+            w.strip().upper() for w in args.workloads.split(",") if w.strip()
+        ),
+        record_count=args.records,
+        operation_count=args.ops,
+        value_size=args.value_size,
+        shield=not args.plain,
+        include_mixgraph=args.mixgraph,
+    )
+    print(report_service_benchmarks(spec, results_dir=args.results_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

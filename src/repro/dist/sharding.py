@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.errors import IOError_
 from repro.lsm.db import DB
 from repro.lsm.options import ReadOptions, WriteOptions
 from repro.lsm.write_batch import WriteBatch
@@ -39,12 +40,22 @@ class ShardedDB:
             raise ValueError("num_shards must be positive")
         self.base_path = base_path
         self.num_shards = num_shards
-        self.shards: list[DB] = [
-            make_shard(index, f"{base_path}/shard-{index:03d}")
-            for index in range(num_shards)
-        ]
+        self._closed = False
+        self.shards: list[DB] = []
+        try:
+            for index in range(num_shards):
+                self.shards.append(
+                    make_shard(index, f"{base_path}/shard-{index:03d}")
+                )
+        except BaseException:
+            # A shard constructor failing mid-way must not leak the open
+            # WAL/MANIFEST handles of the shards already built.
+            self.close()
+            raise
 
     def _shard(self, key: bytes) -> DB:
+        if self._closed:
+            raise IOError_("sharded database is closed")
         return self.shards[shard_for_key(key, self.num_shards)]
 
     def put(self, key: bytes, value: bytes,
@@ -60,6 +71,8 @@ class ShardedDB:
     def write(self, batch: WriteBatch, opts: WriteOptions | None = None) -> None:
         """Split a batch by shard; atomicity holds per shard (as in
         production sharded deployments, cross-shard writes are not atomic)."""
+        if self._closed:
+            raise IOError_("sharded database is closed")
         per_shard: dict[int, WriteBatch] = {}
         for vtype, key, value in batch.items():
             index = shard_for_key(key, self.num_shards)
@@ -103,8 +116,20 @@ class ShardedDB:
         return totals
 
     def close(self) -> None:
+        """Close every shard; idempotent, and closes the rest even if one
+        shard's close raises (the first error is re-raised at the end)."""
+        if self._closed:
+            return
+        self._closed = True
+        first_error: BaseException | None = None
         for shard in self.shards:
-            shard.close()
+            try:
+                shard.close()
+            except BaseException as exc:  # noqa: BLE001 - keep closing the rest
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "ShardedDB":
         return self

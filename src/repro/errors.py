@@ -39,3 +39,15 @@ class ProvisioningError(KeyManagementError):
 
 class RecoveryError(ReproError):
     """Crash recovery could not reconstruct a consistent database state."""
+
+
+class ServiceError(ReproError):
+    """A request to the networked serving tier failed."""
+
+
+class BusyError(ServiceError):
+    """The server's bounded request queue was full (backpressure signal)."""
+
+
+class ReplicationError(ServiceError):
+    """The WAL-shipping replication stream failed or was refused."""

@@ -82,6 +82,7 @@ class DB:
         self._write_queue: list[_WriteRequest] = []
         self._closed = False
         self._bg_error: BaseException | None = None
+        self._commit_listeners: list = []
 
         self._mem: Memtable = make_memtable(self.options.memtable_impl)
         # (memtable, wal_number, wal_dek_id) awaiting flush, oldest first.
@@ -238,19 +239,27 @@ class DB:
             try:
                 total_ops = 0
                 want_sync = self.options.wal_sync_writes
+                committed: list[tuple[int, int, bytes]] = []
                 for request in group:
                     first_seq = self._versions.last_sequence + 1
                     self._versions.last_sequence += len(request.batch)
+                    payload = None
                     if self.options.wal_enabled and not request.opts.disable_wal:
-                        self._wal.add_record(request.batch.serialize(first_seq))
+                        payload = request.batch.serialize(first_seq)
+                        self._wal.add_record(payload)
                         want_sync = want_sync or request.opts.sync
                     seq = first_seq
                     for vtype, key, value in request.batch.items():
                         self._mem.add(seq, vtype, key, value)
                         seq += 1
                     total_ops += len(request.batch)
+                    if self._commit_listeners:
+                        if payload is None:
+                            payload = request.batch.serialize(first_seq)
+                        committed.append((first_seq, seq - 1, payload))
                 if want_sync and self.options.wal_enabled:
                     self._wal.sync()
+                self._notify_commit_listeners(committed)
                 self.stats.counter("db.writes").add(total_ops)
                 self.stats.counter("db.write_groups").add(1)
                 self.stats.histogram("db.group_size").record(len(group))
@@ -263,6 +272,42 @@ class DB:
                 return
             for request in group:
                 request.done = True
+
+    # -- WAL-tail hook (the serving tier's replication feed) ---------------
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(first_seq, last_seq, wal_payload)``.
+
+        Called once per committed batch, in commit order, with the exact
+        serialized WriteBatch payload the WAL received -- the primitive
+        WAL-shipping replication tails.  Listeners run on the committing
+        writer's thread under the engine mutex: they must be fast and
+        must not call back into the DB.
+        """
+        with self._mutex:
+            self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        with self._mutex:
+            if listener in self._commit_listeners:
+                self._commit_listeners.remove(listener)
+
+    def _notify_commit_listeners(
+        self, committed: list[tuple[int, int, bytes]]
+    ) -> None:
+        if not committed or not self._commit_listeners:
+            return
+        for listener in list(self._commit_listeners):
+            for first_seq, last_seq, payload in committed:
+                try:
+                    listener(first_seq, last_seq, payload)
+                except Exception:  # noqa: BLE001 - listeners cannot poison writes
+                    self.stats.counter("db.commit_listener_errors").add(1)
+
+    def committed_sequence(self) -> int:
+        """The sequence number of the last committed write (0 if none)."""
+        with self._mutex:
+            return self._versions.last_sequence
 
     def _check_open(self) -> None:
         if self._closed:

@@ -1,0 +1,41 @@
+"""The serving tier: a networked front-end for the encrypted LSM-KVS.
+
+Everything below this package turns the embedded engine into a servable
+system (the deployment shape of Section 2.2: many sharded primaries plus
+read-only compute instances over shared state):
+
+- :mod:`repro.service.protocol` -- the length-prefixed, CRC-protected
+  binary wire format (GET/PUT/DELETE/WRITE_BATCH/SCAN/STATS plus the
+  replication handshake), built from the same coding/checksum primitives
+  as the storage formats;
+- :mod:`repro.service.server` -- a threaded socket server fronting a
+  ``DB`` or ``ShardedDB`` with per-connection pipelining, a bounded
+  request queue with explicit BUSY backpressure, per-connection KDS
+  authorization, and graceful drain;
+- :mod:`repro.service.client` -- a pooled client with timeouts,
+  retry-with-backoff on BUSY/transient socket errors, and a batched
+  pipeline API; duck-types the ``DB`` read/write surface so the existing
+  benchmark workloads run unmodified over the socket;
+- :mod:`repro.service.replica` -- WAL-shipping replication: the primary
+  streams committed WAL records (encrypted with a per-stream DEK whose ID
+  replicas resolve through their *own* KeyClient, so an unauthorized
+  replica never sees plaintext) to read replicas that serve from
+  ReadOnlyInstance-style state and resume from their last applied
+  sequence after a reconnect.
+"""
+
+from repro.service.client import KVClient, Pipeline
+from repro.service.protocol import Message, ProtocolError
+from repro.service.replica import Replica, ReplicaState
+from repro.service.server import KVServer, ServiceConfig
+
+__all__ = [
+    "KVClient",
+    "KVServer",
+    "Message",
+    "Pipeline",
+    "ProtocolError",
+    "Replica",
+    "ReplicaState",
+    "ServiceConfig",
+]

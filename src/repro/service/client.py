@@ -1,0 +1,302 @@
+"""KVClient: pooled connections, retries with backoff, and pipelining.
+
+The client duck-types the embedded ``DB`` read/write surface
+(``put``/``get``/``delete``/``write``/``scan``/``flush``/
+``compact_range``/``close``), so every existing benchmark workload runs
+over the socket unchanged.  Transient failures are retried:
+
+- ``RESP_BUSY`` (the server's backpressure signal) and transient socket
+  errors back off exponentially up to ``max_retries``;
+- a connection that errors is discarded, not returned to the pool.
+
+``pipeline()`` batches many requests onto one connection and matches the
+out-of-order responses by request ID -- the network round-trip is paid
+once per batch instead of once per operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+
+from repro.errors import BusyError, ServiceError
+from repro.lsm.write_batch import WriteBatch
+from repro.service import protocol
+from repro.service.protocol import Message
+
+
+class _PooledConnection:
+    """One socket plus the client-side request-id counter for it."""
+
+    def __init__(self, host: str, port: int, timeout_s: float | None,
+                 server_id: str | None, request_ids):
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(timeout_s)
+        self._request_ids = request_ids
+        if server_id is not None:
+            response = self.request(
+                protocol.OP_AUTH, protocol.encode_auth(server_id)
+            )
+            if response.opcode == protocol.RESP_ERROR:
+                raise protocol.decode_error(response.payload)
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    def send(self, msg: Message) -> None:
+        protocol.send_message(self.sock, msg)
+
+    def read(self) -> Message:
+        msg = protocol.read_message(self.sock)
+        if msg is None:
+            raise ConnectionError("server closed the connection")
+        return msg
+
+    def request(self, opcode: int, payload: bytes = b"") -> Message:
+        """One in-flight request: send, read the matching response."""
+        request_id = self.next_request_id()
+        self.send(Message(opcode, request_id, payload))
+        response = self.read()
+        if response.request_id != request_id:
+            raise ServiceError(
+                f"response id {response.request_id} != request id {request_id}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class KVClient:
+    """A thread-safe client for one KVServer endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        timeout_s: float | None = 10.0,
+        server_id: str | None = None,
+        max_retries: int = 6,
+        backoff_base_s: float = 0.01,
+        backoff_max_s: float = 0.5,
+    ):
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout_s = timeout_s
+        self.server_id = server_id
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.retries = 0
+        self.busy_retries = 0
+        self._request_ids = itertools.count(1)
+        self._pool: list[_PooledConnection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- connection pool ---------------------------------------------------
+
+    def _acquire(self) -> _PooledConnection:
+        if self._closed:
+            raise ServiceError("client is closed")
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return _PooledConnection(
+            self.host, self.port, self.timeout_s, self.server_id,
+            self._request_ids,
+        )
+
+    def _release(self, conn: _PooledConnection) -> None:
+        with self._pool_lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "KVClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request core ------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        time.sleep(min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s))
+
+    def _request(self, opcode: int, payload: bytes = b"") -> Message:
+        """Send one request, retrying on BUSY and transient socket errors."""
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                conn = self._acquire()
+            except OSError as exc:
+                last_error = exc
+                self.retries += 1
+                self._backoff(attempt)
+                continue
+            try:
+                response = conn.request(opcode, payload)
+            except (OSError, protocol.ProtocolError) as exc:
+                conn.close()
+                last_error = exc
+                self.retries += 1
+                self._backoff(attempt)
+                continue
+            if response.opcode == protocol.RESP_BUSY:
+                self._release(conn)
+                last_error = BusyError("server queue full")
+                self.busy_retries += 1
+                self._backoff(attempt)
+                continue
+            self._release(conn)
+            if response.opcode == protocol.RESP_ERROR:
+                raise protocol.decode_error(response.payload)
+            return response
+        if isinstance(last_error, BusyError):
+            raise last_error
+        raise ServiceError(f"request failed after retries: {last_error!r}")
+
+    # -- DB-shaped surface -------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, opts=None) -> None:
+        self._request(protocol.OP_PUT, protocol.encode_put(key, value))
+
+    def get(self, key: bytes, opts=None) -> bytes | None:
+        response = self._request(protocol.OP_GET, protocol.encode_key(key))
+        if response.opcode == protocol.RESP_NOT_FOUND:
+            return None
+        return protocol.decode_value(response.payload)
+
+    def delete(self, key: bytes, opts=None) -> None:
+        self._request(protocol.OP_DELETE, protocol.encode_key(key))
+
+    def write(self, batch: WriteBatch, opts=None) -> None:
+        self._request(protocol.OP_WRITE_BATCH, batch.serialize(0))
+
+    def scan(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        limit: int | None = None,
+        opts=None,
+    ) -> list[tuple[bytes, bytes]]:
+        response = self._request(
+            protocol.OP_SCAN, protocol.encode_scan(start, end, limit)
+        )
+        return protocol.decode_pairs(response.payload)
+
+    def stats(self) -> dict:
+        response = self._request(protocol.OP_STATS)
+        return protocol.decode_stats(response.payload)
+
+    def flush(self) -> None:
+        self._request(protocol.OP_FLUSH)
+
+    def compact_range(self) -> None:
+        self._request(protocol.OP_COMPACT)
+
+    def ping(self) -> None:
+        self._request(protocol.OP_PING)
+
+    def committed_sequence(self) -> int:
+        return int(self.stats().get("committed_sequence", 0))
+
+    def pipeline(self) -> "Pipeline":
+        return Pipeline(self)
+
+
+class Pipeline:
+    """Queue operations, send them in one burst, collect results in order.
+
+    All queued requests travel on a single pooled connection without
+    waiting for individual responses (per-connection pipelining); any that
+    the server bounces with BUSY are retried individually through the
+    client's backoff path.
+    """
+
+    def __init__(self, client: KVClient):
+        self._client = client
+        self._ops: list[tuple[int, bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def put(self, key: bytes, value: bytes) -> "Pipeline":
+        self._ops.append((protocol.OP_PUT, protocol.encode_put(key, value)))
+        return self
+
+    def get(self, key: bytes) -> "Pipeline":
+        self._ops.append((protocol.OP_GET, protocol.encode_key(key)))
+        return self
+
+    def delete(self, key: bytes) -> "Pipeline":
+        self._ops.append((protocol.OP_DELETE, protocol.encode_key(key)))
+        return self
+
+    def scan(self, start: bytes = b"", end: bytes | None = None,
+             limit: int | None = None) -> "Pipeline":
+        self._ops.append(
+            (protocol.OP_SCAN, protocol.encode_scan(start, end, limit))
+        )
+        return self
+
+    def execute(self) -> list:
+        """Run the queued ops; returns one decoded result per op, in order."""
+        if not self._ops:
+            return []
+        ops, self._ops = self._ops, []
+        client = self._client
+        conn = client._acquire()
+        responses: dict[int, Message] = {}
+        id_for_index: list[int] = []
+        try:
+            for opcode, payload in ops:
+                request_id = conn.next_request_id()
+                id_for_index.append(request_id)
+                conn.send(Message(opcode, request_id, payload))
+            for __ in ops:
+                response = conn.read()
+                responses[response.request_id] = response
+        except (OSError, protocol.ProtocolError) as exc:
+            conn.close()
+            raise ServiceError(f"pipeline failed mid-flight: {exc!r}") from exc
+        client._release(conn)
+
+        results = []
+        for (opcode, payload), request_id in zip(ops, id_for_index):
+            response = responses.get(request_id)
+            if response is None or response.opcode == protocol.RESP_BUSY:
+                # Bounced by backpressure: retry through the slow path.
+                client.busy_retries += 1
+                response = client._request(opcode, payload)
+            results.append(self._decode(opcode, response))
+        return results
+
+    @staticmethod
+    def _decode(opcode: int, response: Message):
+        if response.opcode == protocol.RESP_ERROR:
+            raise protocol.decode_error(response.payload)
+        if opcode == protocol.OP_GET:
+            if response.opcode == protocol.RESP_NOT_FOUND:
+                return None
+            return protocol.decode_value(response.payload)
+        if opcode == protocol.OP_SCAN:
+            return protocol.decode_pairs(response.payload)
+        return None

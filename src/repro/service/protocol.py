@@ -1,0 +1,320 @@
+"""The wire protocol: length-prefixed, CRC-protected binary frames.
+
+Frame layout (little-endian, the same primitives as the storage formats)::
+
+    length      fixed32   byte count of everything that follows
+    crc         fixed32   masked CRC-32 of everything after this field
+    opcode      u8
+    request_id  varint    echoed verbatim in the response frame
+    payload     bytes     op-specific (see the encode_*/decode_* helpers)
+
+Responses carry the request's ID, so a connection can have many requests
+in flight (pipelining) and match responses out of order.  Replication
+frames (``RESP_REPL_*``) are server-initiated pushes on a subscribed
+connection; their payload is a CTR-encrypted WAL record, the stream key
+being a fresh DEK whose ID the replica resolves through its own
+KeyClient -- the wire never carries plaintext WAL bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+
+from repro import errors
+from repro.errors import CorruptionError
+from repro.util.checksum import masked_crc32
+from repro.util.coding import (
+    decode_fixed32,
+    decode_fixed64,
+    decode_length_prefixed,
+    decode_varint64,
+    encode_fixed32,
+    encode_fixed64,
+    encode_length_prefixed,
+    encode_varint64,
+)
+
+PROTOCOL_VERSION = 1
+
+# -- request opcodes ---------------------------------------------------------
+OP_GET = 1
+OP_PUT = 2
+OP_DELETE = 3
+OP_WRITE_BATCH = 4
+OP_SCAN = 5
+OP_STATS = 6
+OP_FLUSH = 7
+OP_COMPACT = 8
+OP_AUTH = 9
+OP_PING = 10
+OP_REPL_SUBSCRIBE = 16
+
+# -- response opcodes --------------------------------------------------------
+RESP_OK = 128
+RESP_VALUE = 129
+RESP_NOT_FOUND = 130
+RESP_PAIRS = 131
+RESP_STATS = 132
+RESP_ERROR = 133
+RESP_BUSY = 134
+RESP_REPL_ACCEPT = 144
+RESP_REPL_FRAME = 145
+RESP_REPL_POSITION = 146
+
+OPCODE_NAMES = {
+    OP_GET: "get",
+    OP_PUT: "put",
+    OP_DELETE: "delete",
+    OP_WRITE_BATCH: "write_batch",
+    OP_SCAN: "scan",
+    OP_STATS: "stats",
+    OP_FLUSH: "flush",
+    OP_COMPACT: "compact",
+    OP_AUTH: "auth",
+    OP_PING: "ping",
+    OP_REPL_SUBSCRIBE: "repl_subscribe",
+}
+
+#: Upper bound on one frame; anything larger is treated as stream corruption.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+class ProtocolError(CorruptionError):
+    """The byte stream violated the frame format (bad CRC, bad length)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One parsed frame."""
+
+    opcode: int
+    request_id: int
+    payload: bytes = b""
+
+
+# ---------------------------------------------------------------------------
+# Frame encode / decode
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(msg: Message) -> bytes:
+    """Serialize a message to its on-wire frame (length prefix included)."""
+    body = bytes([msg.opcode]) + encode_varint64(msg.request_id) + msg.payload
+    return (
+        encode_fixed32(len(body) + 4)
+        + encode_fixed32(masked_crc32(body))
+        + body
+    )
+
+
+def decode_frame_body(body: bytes) -> Message:
+    """Parse the bytes after the length prefix (crc + header + payload)."""
+    crc, offset = decode_fixed32(body, 0)
+    rest = body[offset:]
+    if masked_crc32(rest) != crc:
+        raise ProtocolError("frame checksum mismatch")
+    if not rest:
+        raise ProtocolError("empty frame body")
+    opcode = rest[0]
+    request_id, pos = decode_varint64(rest, 1)
+    return Message(opcode=opcode, request_id=request_id, payload=bytes(rest[pos:]))
+
+
+def recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
+    """Read exactly ``nbytes``; None on clean EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> Message | None:
+    """Read one frame from a socket; None when the peer closed cleanly."""
+    head = recv_exact(sock, 4)
+    if head is None:
+        return None
+    length, __ = decode_fixed32(head, 0)
+    if length < 4 or length > MAX_FRAME_SIZE:
+        raise ProtocolError(f"implausible frame length {length}")
+    body = recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_frame_body(body)
+
+
+def send_message(sock: socket.socket, msg: Message) -> None:
+    """Write one frame to a socket."""
+    sock.sendall(encode_frame(msg))
+
+
+# ---------------------------------------------------------------------------
+# Payload helpers (request side)
+# ---------------------------------------------------------------------------
+
+
+def encode_key(key: bytes) -> bytes:
+    return encode_length_prefixed(key)
+
+
+def decode_key(payload: bytes) -> bytes:
+    key, __ = decode_length_prefixed(payload, 0)
+    return key
+
+
+def encode_put(key: bytes, value: bytes) -> bytes:
+    return encode_length_prefixed(key) + encode_length_prefixed(value)
+
+
+def decode_put(payload: bytes) -> tuple[bytes, bytes]:
+    key, offset = decode_length_prefixed(payload, 0)
+    value, __ = decode_length_prefixed(payload, offset)
+    return key, value
+
+
+def encode_scan(start: bytes, end: bytes | None, limit: int | None) -> bytes:
+    out = encode_length_prefixed(start)
+    if end is None:
+        out += b"\x00"
+    else:
+        out += b"\x01" + encode_length_prefixed(end)
+    out += encode_varint64(0 if limit is None else limit + 1)
+    return out
+
+
+def decode_scan(payload: bytes) -> tuple[bytes, bytes | None, int | None]:
+    start, offset = decode_length_prefixed(payload, 0)
+    if offset >= len(payload):
+        raise ProtocolError("truncated scan request")
+    has_end = payload[offset]
+    offset += 1
+    end = None
+    if has_end:
+        end, offset = decode_length_prefixed(payload, offset)
+    raw_limit, __ = decode_varint64(payload, offset)
+    return start, end, (None if raw_limit == 0 else raw_limit - 1)
+
+
+def encode_auth(server_id: str) -> bytes:
+    return encode_length_prefixed(server_id.encode())
+
+
+def decode_auth(payload: bytes) -> str:
+    raw, __ = decode_length_prefixed(payload, 0)
+    return raw.decode()
+
+
+def encode_repl_subscribe(server_id: str, last_applied_seq: int) -> bytes:
+    return (
+        encode_length_prefixed(server_id.encode())
+        + encode_varint64(last_applied_seq)
+    )
+
+
+def decode_repl_subscribe(payload: bytes) -> tuple[str, int]:
+    raw, offset = decode_length_prefixed(payload, 0)
+    seq, __ = decode_varint64(payload, offset)
+    return raw.decode(), seq
+
+
+# ---------------------------------------------------------------------------
+# Payload helpers (response side)
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: bytes) -> bytes:
+    return encode_length_prefixed(value)
+
+
+def decode_value(payload: bytes) -> bytes:
+    value, __ = decode_length_prefixed(payload, 0)
+    return value
+
+
+def encode_pairs(pairs: list[tuple[bytes, bytes]]) -> bytes:
+    parts = [encode_varint64(len(pairs))]
+    for key, value in pairs:
+        parts.append(encode_length_prefixed(key))
+        parts.append(encode_length_prefixed(value))
+    return b"".join(parts)
+
+
+def decode_pairs(payload: bytes) -> list[tuple[bytes, bytes]]:
+    count, offset = decode_varint64(payload, 0)
+    pairs: list[tuple[bytes, bytes]] = []
+    for __ in range(count):
+        key, offset = decode_length_prefixed(payload, offset)
+        value, offset = decode_length_prefixed(payload, offset)
+        pairs.append((key, value))
+    return pairs
+
+
+def encode_stats(stats: dict) -> bytes:
+    return json.dumps(stats, sort_keys=True).encode()
+
+
+def decode_stats(payload: bytes) -> dict:
+    return json.loads(payload.decode())
+
+
+def encode_sequence(seq: int) -> bytes:
+    return encode_fixed64(seq)
+
+
+def decode_sequence(payload: bytes) -> int:
+    seq, __ = decode_fixed64(payload, 0)
+    return seq
+
+
+def encode_error(exc: BaseException) -> bytes:
+    return (
+        encode_length_prefixed(type(exc).__name__.encode())
+        + encode_length_prefixed(str(exc).encode())
+    )
+
+
+#: Exception classes a server may legitimately put on the wire, by name.
+_ERROR_TYPES = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, errors.ReproError)
+}
+
+
+def decode_error(payload: bytes) -> Exception:
+    """Rebuild the closest matching exception from an error frame."""
+    kind_raw, offset = decode_length_prefixed(payload, 0)
+    message_raw, __ = decode_length_prefixed(payload, offset)
+    kind = kind_raw.decode()
+    message = message_raw.decode()
+    exc_type = _ERROR_TYPES.get(kind, errors.ServiceError)
+    return exc_type(message)
+
+
+def encode_repl_accept(
+    scheme_id: int, dek_id: str, nonce: bytes, primary_seq: int
+) -> bytes:
+    return (
+        bytes([scheme_id])
+        + encode_length_prefixed(dek_id.encode())
+        + encode_length_prefixed(nonce)
+        + encode_fixed64(primary_seq)
+    )
+
+
+def decode_repl_accept(payload: bytes) -> tuple[int, str, bytes, int]:
+    if not payload:
+        raise ProtocolError("truncated replication accept")
+    scheme_id = payload[0]
+    dek_id_raw, offset = decode_length_prefixed(payload, 1)
+    nonce, offset = decode_length_prefixed(payload, offset)
+    primary_seq, __ = decode_fixed64(payload, offset)
+    return scheme_id, dek_id_raw.decode(), nonce, primary_seq

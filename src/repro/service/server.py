@@ -1,0 +1,393 @@
+"""A threaded socket server fronting a ``DB`` (or ``ShardedDB``).
+
+Architecture::
+
+    accept thread ── one reader thread per connection
+                         │  parses frames, answers AUTH inline,
+                         │  hands replication subscriptions to a streamer,
+                         ▼
+                 bounded request queue ── N worker threads execute against
+                                          the engine and write responses
+
+Backpressure is explicit: when the queue is full the *reader* thread
+answers ``RESP_BUSY`` immediately instead of buffering unboundedly --
+clients are expected to back off and retry (``KVClient`` does).  Because
+responses carry request IDs, a connection may pipeline many requests;
+workers execute them concurrently, so cross-request ordering within one
+connection is not guaranteed (use WRITE_BATCH for atomic multi-key
+writes, as with the embedded engine).
+
+Authorization reuses the KDS machinery: with ``require_auth`` a
+connection must present a server ID the KDS authorizes before any other
+operation, the same policy gate replicas pass through (Section 5.4's
+"the KDS, not the metadata, enforces authorization").
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import AuthorizationError, InvalidArgumentError, ServiceError
+from repro.service import protocol
+from repro.service.protocol import Message
+from repro.service.replica import ReplicationSource, stream_to_replica
+from repro.util.stats import StatsRegistry
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = pick an ephemeral port
+    num_workers: int = 4
+    max_queue_depth: int = 64        # bounded request queue (backpressure)
+    require_auth: bool = False       # demand OP_AUTH before serving
+    kds: object | None = None        # overrides the provider's KDS for auth
+    socket_timeout_s: float | None = None
+    drain_timeout_s: float = 5.0     # graceful-shutdown drain budget
+    repl_chunk_entries: int = 256    # snapshot catch-up batch size
+    accept_backlog: int = 64
+
+
+class _Connection:
+    """Book-keeping for one accepted socket."""
+
+    __slots__ = ("sock", "addr", "send_lock", "server_id", "alive")
+
+    def __init__(self, sock: socket.socket, addr):
+        self.sock = sock
+        self.addr = addr
+        self.send_lock = threading.Lock()
+        self.server_id: str | None = None
+        self.alive = True
+
+    def send(self, msg: Message) -> None:
+        with self.send_lock:
+            protocol.send_message(self.sock, msg)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class KVServer:
+    """Serve the wire protocol over TCP in front of an open engine."""
+
+    def __init__(self, db, config: ServiceConfig | None = None):
+        self.db = db
+        self.config = config or ServiceConfig()
+        self.stats = StatsRegistry()
+        self._queue: queue.Queue = queue.Queue(self.config.max_queue_depth)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
+        self._conn_threads: list[threading.Thread] = []
+        self._connections: set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+        # Replication needs the engine's commit hook; a ShardedDB fronts
+        # several engines and is served read/write only (no subscription).
+        self._source: ReplicationSource | None = (
+            ReplicationSource(db) if hasattr(db, "add_commit_listener") else None
+        )
+        self._key_client = getattr(getattr(db, "provider", None), "key_client", None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ServiceError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "KVServer":
+        if self._started:
+            return self
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.config.host, self.config.port))
+        self._listener.listen(self.config.accept_backlog)
+        for index in range(self.config.num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"kv-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="kv-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the queue, close."""
+        if not self._started or self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        # Drain: give queued requests a bounded chance to finish.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while not self._queue.empty() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for __ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        if self._source is not None:
+            self._source.close()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "KVServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept / read path ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            if self.config.socket_timeout_s is not None:
+                sock.settimeout(self.config.socket_timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(sock, addr)
+            with self._conn_lock:
+                self._connections.add(conn)
+            self.stats.counter("service.connections").add(1)
+            thread = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"kv-conn-{addr[1]}", daemon=True,
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _reader_loop(self, conn: _Connection) -> None:
+        try:
+            while conn.alive and not self._stopping.is_set():
+                try:
+                    msg = protocol.read_message(conn.sock)
+                except (protocol.ProtocolError, OSError):
+                    return
+                if msg is None:
+                    return
+                if msg.opcode == protocol.OP_AUTH:
+                    self._handle_auth(conn, msg)
+                    continue
+                if not self._connection_authorized(conn):
+                    conn.send(Message(
+                        protocol.RESP_ERROR, msg.request_id,
+                        protocol.encode_error(AuthorizationError(
+                            "connection is not authenticated; send AUTH first"
+                        )),
+                    ))
+                    continue
+                if msg.opcode == protocol.OP_REPL_SUBSCRIBE:
+                    # The connection becomes a one-way replication stream;
+                    # this thread turns into its streamer.
+                    self._handle_subscribe(conn, msg)
+                    return
+                try:
+                    self._queue.put_nowait((conn, msg, time.perf_counter()))
+                except queue.Full:
+                    self.stats.counter("service.busy_rejections").add(1)
+                    try:
+                        conn.send(Message(protocol.RESP_BUSY, msg.request_id))
+                    except OSError:
+                        return
+        finally:
+            conn.close()
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    # -- authorization -----------------------------------------------------
+
+    def _auth_kds(self):
+        if self.config.kds is not None:
+            return self.config.kds
+        return getattr(self._key_client, "kds", None)
+
+    def _is_authorized(self, server_id: str) -> bool:
+        kds = self._auth_kds()
+        check = getattr(kds, "is_authorized", None)
+        if check is None:
+            return True  # no authorization machinery configured
+        return bool(check(server_id))
+
+    def _connection_authorized(self, conn: _Connection) -> bool:
+        return not self.config.require_auth or conn.server_id is not None
+
+    def _handle_auth(self, conn: _Connection, msg: Message) -> None:
+        server_id = protocol.decode_auth(msg.payload)
+        if not self._is_authorized(server_id):
+            self.stats.counter("service.auth_rejections").add(1)
+            conn.send(Message(
+                protocol.RESP_ERROR, msg.request_id,
+                protocol.encode_error(AuthorizationError(
+                    f"server {server_id!r} is not authorized by the KDS"
+                )),
+            ))
+            return
+        conn.server_id = server_id
+        self.stats.counter("service.auth_accepted").add(1)
+        conn.send(Message(protocol.RESP_OK, msg.request_id))
+
+    # -- replication -------------------------------------------------------
+
+    def _handle_subscribe(self, conn: _Connection, msg: Message) -> None:
+        server_id, resume_seq = protocol.decode_repl_subscribe(msg.payload)
+        if self._source is None:
+            conn.send(Message(
+                protocol.RESP_ERROR, msg.request_id,
+                protocol.encode_error(InvalidArgumentError(
+                    "this server's engine does not support WAL shipping"
+                )),
+            ))
+            return
+        if not self._is_authorized(server_id):
+            self.stats.counter("service.auth_rejections").add(1)
+            conn.send(Message(
+                protocol.RESP_ERROR, msg.request_id,
+                protocol.encode_error(AuthorizationError(
+                    f"replica {server_id!r} is not authorized by the KDS"
+                )),
+            ))
+            return
+        self.stats.counter("service.replica_subscriptions").add(1)
+        stream_to_replica(
+            conn=conn,
+            request=msg,
+            db=self.db,
+            source=self._source,
+            key_client=self._key_client,
+            chunk_entries=self.config.repl_chunk_entries,
+            stopping=self._stopping,
+            stats=self.stats,
+        )
+
+    # -- execute path ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            conn, msg, enqueued_at = item
+            op_name = protocol.OPCODE_NAMES.get(msg.opcode, f"op{msg.opcode}")
+            started = time.perf_counter()
+            self.stats.histogram("service.queue_wait_s").record(
+                started - enqueued_at
+            )
+            try:
+                reply = self._execute(msg)
+            except Exception as exc:  # noqa: BLE001 - every error goes on the wire
+                self.stats.counter("service.errors").add(1)
+                reply = Message(
+                    protocol.RESP_ERROR, msg.request_id, protocol.encode_error(exc)
+                )
+            self.stats.counter(f"service.{op_name}").add(1)
+            self.stats.histogram(f"service.latency.{op_name}").record(
+                time.perf_counter() - started
+            )
+            if conn.alive:
+                try:
+                    conn.send(reply)
+                except OSError:
+                    conn.close()
+
+    def _committed_sequence(self) -> int:
+        accessor = getattr(self.db, "committed_sequence", None)
+        return accessor() if accessor is not None else 0
+
+    def _execute(self, msg: Message) -> Message:
+        op = msg.opcode
+        rid = msg.request_id
+        if op == protocol.OP_GET:
+            value = self.db.get(protocol.decode_key(msg.payload))
+            if value is None:
+                return Message(protocol.RESP_NOT_FOUND, rid)
+            return Message(protocol.RESP_VALUE, rid, protocol.encode_value(value))
+        if op == protocol.OP_PUT:
+            key, value = protocol.decode_put(msg.payload)
+            self.db.put(key, value)
+            return Message(
+                protocol.RESP_OK, rid,
+                protocol.encode_sequence(self._committed_sequence()),
+            )
+        if op == protocol.OP_DELETE:
+            self.db.delete(protocol.decode_key(msg.payload))
+            return Message(
+                protocol.RESP_OK, rid,
+                protocol.encode_sequence(self._committed_sequence()),
+            )
+        if op == protocol.OP_WRITE_BATCH:
+            from repro.lsm.write_batch import WriteBatch
+
+            __, batch = WriteBatch.deserialize(msg.payload)
+            self.db.write(batch)
+            return Message(
+                protocol.RESP_OK, rid,
+                protocol.encode_sequence(self._committed_sequence()),
+            )
+        if op == protocol.OP_SCAN:
+            start, end, limit = protocol.decode_scan(msg.payload)
+            pairs = self.db.scan(start, end, limit)
+            return Message(protocol.RESP_PAIRS, rid, protocol.encode_pairs(pairs))
+        if op == protocol.OP_STATS:
+            return Message(
+                protocol.RESP_STATS, rid, protocol.encode_stats(self._stats_dict())
+            )
+        if op == protocol.OP_FLUSH:
+            self.db.flush()
+            return Message(protocol.RESP_OK, rid)
+        if op == protocol.OP_COMPACT:
+            compact = getattr(self.db, "compact_range", None) or getattr(
+                self.db, "compact_all"
+            )
+            compact()
+            return Message(protocol.RESP_OK, rid)
+        if op == protocol.OP_PING:
+            return Message(protocol.RESP_OK, rid)
+        raise InvalidArgumentError(f"unknown opcode {op}")
+
+    def _stats_dict(self) -> dict:
+        engine_stats = getattr(self.db, "stats", None)
+        if engine_stats is not None:
+            engine = engine_stats.snapshot()
+        elif hasattr(self.db, "stats_totals"):
+            engine = self.db.stats_totals()
+        else:
+            engine = {}
+        return {
+            "server": self.stats.snapshot(),
+            "engine": engine,
+            "committed_sequence": self._committed_sequence(),
+        }

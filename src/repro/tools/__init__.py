@@ -1,10 +1,16 @@
 """Command-line tools.
 
-- ``python -m repro.tools.dbbench`` -- the db_bench analogue: run
-  fillrandom/readrandom/mixed/YCSB/mixgraph workloads against any of the
-  systems under test and print the comparison table.
-- ``python -m repro.tools.sst_dump`` -- inspect an SST file's plaintext
-  envelope and (when readable) its properties and entries.
+- ``python -m repro.tools.dbbench`` (``repro-dbbench``) -- the db_bench
+  analogue: run fillrandom/readrandom/mixed/YCSB/mixgraph workloads
+  against any of the systems under test and print the comparison table;
+  ``--remote HOST:PORT`` drives a running server over the socket client
+  instead of an embedded engine.
+- ``python -m repro.tools.serve`` (``repro-serve``) -- launch the
+  networked KV front-end (``repro.service``) over a SHIELD-encrypted or
+  plaintext engine, optionally sharded.
+- ``python -m repro.tools.sst_dump`` (``repro-sst-dump``) -- inspect an
+  SST file's plaintext envelope and (when readable) its properties and
+  entries.
 - ``python -m repro.tools.dek_audit`` -- audit a database directory: which
   DEK protects which file, flag plaintext files and duplicate (DEK, nonce)
   pairs.

@@ -63,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--db", default="/dbbench",
                         help="database directory (for --env local)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="drive a running repro-serve endpoint over the "
+                        "socket client instead of an embedded engine")
     parser.add_argument("--ds", action="store_true",
                         help="run against simulated disaggregated storage")
     parser.add_argument("--offload-compaction", action="store_true",
@@ -129,13 +132,24 @@ def _make_ds_db(system: str, args, options: Options):
     return open_shield_db(args.db, shield, engine)
 
 
+def _make_remote_db(args):
+    from repro.service.client import KVClient
+
+    host, __, port = args.remote.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--remote wants HOST:PORT, got {args.remote!r}")
+    return KVClient(host, int(port))
+
+
 def _run_benchmark(name: str, system: str, args):
     options = Options(
         write_buffer_size=args.write_buffer_size,
         compaction_style=args.compaction,
         compression=args.compression,
     )
-    if args.ds:
+    if args.remote:
+        db = _make_remote_db(args)
+    elif args.ds:
         db = _make_ds_db(system, args, options)
     else:
         db = make_system(
@@ -182,10 +196,17 @@ def _run_benchmark(name: str, system: str, args):
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
-    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
-    for system in systems:
-        if system not in SYSTEMS:
-            raise SystemExit(f"unknown system {system!r}; pick from {SYSTEMS}")
+    if args.remote:
+        # The remote server decides its own encryption/sharding; there is
+        # exactly one "system" under test -- the endpoint.
+        systems = ["remote"]
+    else:
+        systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+        for system in systems:
+            if system not in SYSTEMS:
+                raise SystemExit(
+                    f"unknown system {system!r}; pick from {SYSTEMS}"
+                )
     for benchmark_name in benchmarks:
         results = [
             _run_benchmark(benchmark_name, system, args) for system in systems

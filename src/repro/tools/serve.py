@@ -1,0 +1,135 @@
+"""``repro-serve``: launch a networked KV server over an engine instance.
+
+Examples::
+
+    # A SHIELD-encrypted server on an in-memory env (smoke testing):
+    python -m repro.tools.serve --port 7475
+
+    # A persistent, sharded, SHIELD-encrypted server (the passkey wraps
+    # the on-disk DEK cache so the database survives restarts):
+    python -m repro.tools.serve --env local --db /var/lib/repro \
+        --shards 4 --port 7475 --passkey secret
+
+    # Plaintext engine (baseline measurements):
+    python -m repro.tools.serve --plain --port 7475
+
+The in-process KDS this CLI builds stands in for a real key-distribution
+deployment; point several servers at one KDS by embedding the library
+instead (see DESIGN.md, "Serving tier").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from dataclasses import replace
+
+from repro.dist.sharding import ShardedDB
+from repro.env.local import LocalEnv
+from repro.env.mem import MemEnv
+from repro.keys.kds import InMemoryKDS
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.service.server import KVServer, ServiceConfig
+from repro.shield import ShieldOptions, open_shield_db
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.serve",
+        description="Serve a (SHIELD-encrypted) LSM-KVS over the wire protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7475,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--db", default="/served",
+                        help="database directory (root of the shards)")
+    parser.add_argument("--env", default="mem", choices=["mem", "local"])
+    parser.add_argument("--shards", type=int, default=1,
+                        help="hash shards behind the front-end (1 = single DB)")
+    parser.add_argument("--plain", action="store_true",
+                        help="serve an unencrypted engine (no SHIELD)")
+    parser.add_argument("--scheme", default="shake-ctr")
+    parser.add_argument("--passkey", default=None,
+                        help="persist DEKs in a passkey-wrapped cache next to "
+                        "--db so an encrypted database survives restarts "
+                        "(the CLI's in-process KDS is ephemeral)")
+    parser.add_argument("--wal-buffer", type=int, default=512)
+    parser.add_argument("--write-buffer-size", type=int, default=4 * 1024 * 1024)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--require-auth", action="store_true",
+                        help="demand a KDS-authorized AUTH before serving")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="serve for N seconds then exit (default: forever)")
+    return parser
+
+
+def _make_db(args):
+    env = LocalEnv() if args.env == "local" else MemEnv()
+    if args.env == "local":
+        env.mkdirs(args.db)
+    options = Options(env=env, write_buffer_size=args.write_buffer_size)
+    kds = InMemoryKDS()
+    # The CLI's KDS lives and dies with the process; without a durable DEK
+    # store an encrypted --env local database could never be reopened.  A
+    # passkey wraps one shared on-disk cache (the paper's secure DEK cache).
+    dek_cache = None
+    if args.passkey is not None and not args.plain:
+        from repro.keys.cache import SecureDEKCache
+
+        dek_cache = SecureDEKCache(args.db + ".dekcache", args.passkey)
+
+    def make_shard(index: int, path: str):
+        if args.plain:
+            return DB(path, replace(options))
+        shield = ShieldOptions(
+            kds=kds,
+            server_id=f"serve-shard-{index}",
+            scheme=args.scheme,
+            dek_cache=dek_cache,
+            wal_buffer_size=args.wal_buffer,
+        )
+        return open_shield_db(path, shield, replace(options))
+
+    if args.shards > 1:
+        return ShardedDB(args.db, args.shards, make_shard)
+    return make_shard(0, args.db)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = _make_db(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        num_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        require_auth=args.require_auth,
+    )
+    server = KVServer(db, config)
+    server.start()
+    host, port = server.address
+    mode = "plaintext" if args.plain else f"shield/{args.scheme}"
+    print(
+        f"serving {args.db} ({mode}, {args.shards} shard(s)) "
+        f"on {host}:{port}",
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            threading.Event().wait(args.duration)
+        else:
+            while True:
+                threading.Event().wait(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,13 @@ def _hammer(db, num_threads=6, per_thread=300, value=b"v"):
 
 
 def test_groups_form_under_contention():
-    db = DB("/g", _options(MemEnv()))
+    # A small WAL-append latency makes the leader hold the commit long
+    # enough for followers to pile up, so grouping is deterministic
+    # rather than at the mercy of scheduler timing on a loaded machine.
+    from repro.env.latency import LatencyEnv, LatencyModel
+
+    env = LatencyEnv(MemEnv(), LatencyModel(write_op_s=0.0005))
+    db = DB("/g", _options(env))
     with db:
         errors = _hammer(db)
         assert not errors

@@ -1,0 +1,168 @@
+"""Tests for the wire protocol: framing, CRC, payload codecs."""
+
+import socket
+import threading
+
+import pytest
+
+from repro import errors
+from repro.service import protocol
+from repro.service.protocol import Message, ProtocolError
+
+
+def _roundtrip_over_socket(frames: bytes) -> socket.socket:
+    """Feed raw bytes to a connected socket pair; return the read end."""
+    read_end, write_end = socket.socketpair()
+    write_end.sendall(frames)
+    write_end.close()
+    return read_end
+
+
+def test_frame_roundtrip_all_fields():
+    msg = Message(protocol.OP_PUT, 12345, b"\x00payload\xff")
+    assert protocol.decode_frame_body(protocol.encode_frame(msg)[4:]) == msg
+
+
+def test_frame_roundtrip_empty_payload_and_zero_id():
+    msg = Message(protocol.OP_PING, 0)
+    assert protocol.decode_frame_body(protocol.encode_frame(msg)[4:]) == msg
+
+
+def test_frame_roundtrip_large_request_id():
+    msg = Message(protocol.OP_GET, 2**40, b"k")
+    assert protocol.decode_frame_body(protocol.encode_frame(msg)[4:]) == msg
+
+
+@pytest.mark.parametrize("flip_at", [4, 8, 9, -1])
+def test_corrupted_frame_fails_crc(flip_at):
+    frame = bytearray(protocol.encode_frame(Message(protocol.OP_PUT, 7, b"abcdef")))
+    frame[flip_at] ^= 0x40
+    with pytest.raises(ProtocolError):
+        protocol.decode_frame_body(bytes(frame[4:]))
+
+
+def test_read_message_over_socket():
+    msg = Message(protocol.OP_SCAN, 3, b"xyz")
+    sock = _roundtrip_over_socket(protocol.encode_frame(msg))
+    try:
+        assert protocol.read_message(sock) == msg
+        assert protocol.read_message(sock) is None  # clean EOF
+    finally:
+        sock.close()
+
+
+def test_read_message_pipelined_stream():
+    messages = [Message(protocol.OP_GET, i, b"k%d" % i) for i in range(20)]
+    sock = _roundtrip_over_socket(
+        b"".join(protocol.encode_frame(m) for m in messages)
+    )
+    try:
+        for expected in messages:
+            assert protocol.read_message(sock) == expected
+    finally:
+        sock.close()
+
+
+def test_truncated_frame_raises_mid_frame():
+    frame = protocol.encode_frame(Message(protocol.OP_PUT, 1, b"hello"))
+    sock = _roundtrip_over_socket(frame[: len(frame) - 2])
+    try:
+        with pytest.raises(ProtocolError):
+            protocol.read_message(sock)
+    finally:
+        sock.close()
+
+
+def test_implausible_length_rejected():
+    from repro.util.coding import encode_fixed32
+
+    sock = _roundtrip_over_socket(
+        encode_fixed32(protocol.MAX_FRAME_SIZE + 1) + b"\x00" * 16
+    )
+    try:
+        with pytest.raises(ProtocolError):
+            protocol.read_message(sock)
+    finally:
+        sock.close()
+
+
+def test_send_message_is_read_message_inverse():
+    left, right = socket.socketpair()
+    msg = Message(protocol.OP_WRITE_BATCH, 99, bytes(range(256)))
+    try:
+        writer = threading.Thread(
+            target=protocol.send_message, args=(left, msg)
+        )
+        writer.start()
+        assert protocol.read_message(right) == msg
+        writer.join()
+    finally:
+        left.close()
+        right.close()
+
+
+# -- payload codecs ----------------------------------------------------------
+
+
+def test_put_and_key_payloads():
+    key, value = b"user:1", b"\x00\x01binary\xff"
+    assert protocol.decode_put(protocol.encode_put(key, value)) == (key, value)
+    assert protocol.decode_key(protocol.encode_key(key)) == key
+
+
+@pytest.mark.parametrize(
+    "start,end,limit",
+    [
+        (b"", None, None),
+        (b"a", b"z", 10),
+        (b"a", None, 0),
+        (b"start", b"start\x00", None),
+    ],
+)
+def test_scan_payload_roundtrip(start, end, limit):
+    payload = protocol.encode_scan(start, end, limit)
+    assert protocol.decode_scan(payload) == (start, end, limit)
+
+
+def test_pairs_payload_roundtrip():
+    pairs = [(b"k%03d" % i, b"v" * i) for i in range(50)]
+    assert protocol.decode_pairs(protocol.encode_pairs(pairs)) == pairs
+    assert protocol.decode_pairs(protocol.encode_pairs([])) == []
+
+
+def test_stats_payload_roundtrip():
+    stats = {"server": {"service.get": 3}, "committed_sequence": 17}
+    assert protocol.decode_stats(protocol.encode_stats(stats)) == stats
+
+
+def test_sequence_payload_roundtrip():
+    for seq in (0, 1, 2**32, 2**56):
+        assert protocol.decode_sequence(protocol.encode_sequence(seq)) == seq
+
+
+def test_auth_and_subscribe_payloads():
+    assert protocol.decode_auth(protocol.encode_auth("replica-7")) == "replica-7"
+    payload = protocol.encode_repl_subscribe("replica-7", 12345)
+    assert protocol.decode_repl_subscribe(payload) == ("replica-7", 12345)
+
+
+def test_repl_accept_payload_roundtrip():
+    payload = protocol.encode_repl_accept(3, "dek-abc", b"\x01" * 16, 999)
+    assert protocol.decode_repl_accept(payload) == (3, "dek-abc", b"\x01" * 16, 999)
+
+
+def test_error_payload_maps_back_to_repro_exceptions():
+    for exc in (
+        errors.NotFoundError("missing"),
+        errors.AuthorizationError("denied"),
+        errors.BusyError("full"),
+    ):
+        rebuilt = protocol.decode_error(protocol.encode_error(exc))
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt) == str(exc)
+
+
+def test_unknown_error_class_degrades_to_service_error():
+    rebuilt = protocol.decode_error(protocol.encode_error(RuntimeError("boom")))
+    assert type(rebuilt) is errors.ServiceError
+    assert str(rebuilt) == "boom"

@@ -125,3 +125,76 @@ def test_colocated_shards_share_secure_cache(tmp_path):
         assert hits > 0
     finally:
         cluster.close()
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_close_is_idempotent_and_guards_operations():
+    cluster = _plain_sharded(2)
+    cluster.put(b"k", b"v")
+    cluster.close()
+    cluster.close()  # second close is a no-op, not an error
+    with pytest.raises(Exception):
+        cluster.put(b"k2", b"v2")
+    with pytest.raises(Exception):
+        cluster.get(b"k")
+    batch = WriteBatch()
+    batch.put(b"k3", b"v3")
+    with pytest.raises(Exception):
+        cluster.write(batch)
+
+
+def test_context_manager_closes_all_shards():
+    with _plain_sharded(3) as cluster:
+        cluster.put(b"k", b"v")
+        shards = list(cluster.shards)
+    for shard in shards:
+        with pytest.raises(Exception):
+            shard.put(b"x", b"y")  # every underlying engine is closed
+
+
+def test_partial_construction_closes_built_shards():
+    env = MemEnv()
+    built = []
+
+    def make_shard(index, path):
+        if index == 2:
+            raise RuntimeError("shard 2 refuses to open")
+        db = DB(path, Options(env=env, write_buffer_size=4 * 1024))
+        built.append(db)
+        return db
+
+    with pytest.raises(RuntimeError, match="shard 2"):
+        ShardedDB("/partial", 4, make_shard)
+    assert len(built) == 2
+    for db in built:
+        with pytest.raises(Exception):
+            db.put(b"k", b"v")  # already-built shards were closed, not leaked
+
+
+def test_close_propagates_first_shard_error_but_closes_all():
+    cluster = _plain_sharded(3)
+
+    class _ExplodingClose:
+        def __init__(self, db):
+            self.db = db
+            self.close_calls = 0
+
+        def close(self):
+            self.close_calls += 1
+            raise RuntimeError("close failed")
+
+        def __getattr__(self, name):
+            return getattr(self.db, name)
+
+    exploding = _ExplodingClose(cluster.shards[0])
+    real = cluster.shards[1:]
+    cluster.shards = [exploding] + real
+    with pytest.raises(RuntimeError, match="close failed"):
+        cluster.close()
+    assert exploding.close_calls == 1
+    for shard in real:
+        with pytest.raises(Exception):
+            shard.put(b"x", b"y")  # closed despite the first shard's error
+    exploding.db.close()
