@@ -218,8 +218,8 @@ class KVClient:
     def committed_sequence(self) -> int:
         return int(self.stats().get("committed_sequence", 0))
 
-    def pipeline(self) -> "Pipeline":
-        return Pipeline(self)
+    def pipeline(self, max_inflight: int = 32) -> "Pipeline":
+        return Pipeline(self, max_inflight=max_inflight)
 
 
 class Pipeline:
@@ -228,11 +228,17 @@ class Pipeline:
     All queued requests travel on a single pooled connection without
     waiting for individual responses (per-connection pipelining); any that
     the server bounces with BUSY are retried individually through the
-    client's backoff path.
+    client's backoff path.  At most ``max_inflight`` requests are
+    unanswered at once: past that, each send is paired with a read, so an
+    arbitrarily large pipeline cannot fill both TCP buffers and deadlock
+    against a server blocked on its own writes.
     """
 
-    def __init__(self, client: KVClient):
+    def __init__(self, client: KVClient, max_inflight: int = 32):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self._client = client
+        self._max_inflight = max_inflight
         self._ops: list[tuple[int, bytes]] = []
 
     def __len__(self) -> int:
@@ -267,13 +273,20 @@ class Pipeline:
         responses: dict[int, Message] = {}
         id_for_index: list[int] = []
         try:
+            inflight = 0
             for opcode, payload in ops:
+                if inflight >= self._max_inflight:
+                    response = conn.read()
+                    responses[response.request_id] = response
+                    inflight -= 1
                 request_id = conn.next_request_id()
                 id_for_index.append(request_id)
                 conn.send(Message(opcode, request_id, payload))
-            for __ in ops:
+                inflight += 1
+            while inflight:
                 response = conn.read()
                 responses[response.request_id] = response
+                inflight -= 1
         except (OSError, protocol.ProtocolError) as exc:
             conn.close()
             raise ServiceError(f"pipeline failed mid-flight: {exc!r}") from exc

@@ -62,6 +62,7 @@ RESP_BUSY = 134
 RESP_REPL_ACCEPT = 144
 RESP_REPL_FRAME = 145
 RESP_REPL_POSITION = 146
+RESP_REPL_SNAPSHOT_BEGIN = 147
 
 OPCODE_NAMES = {
     OP_GET: "get",

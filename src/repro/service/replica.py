@@ -162,8 +162,13 @@ def stream_to_replica(
         if position < source.earliest_sequence:
             # The retained log cannot cover the resume point: ship a
             # consistent snapshot first, then tail from its sequence.
+            # The begin marker tells the replica to drop any carried-over
+            # state -- snapshot frames use synthetic sequences starting at
+            # 1, and applying them on top of old entries at higher real
+            # sequences would resurrect deleted keys and shadow new values.
             snapshot_seq = db.committed_sequence()
             stats.counter("service.repl_snapshots").add(1)
+            push(protocol.RESP_REPL_SNAPSHOT_BEGIN, b"")
             seq_base = 1  # live-key count never exceeds snapshot_seq
             batch = WriteBatch()
             for key, value in db.iterator():
@@ -208,6 +213,18 @@ class ReplicaState:
         self._lock = threading.RLock()
         self.last_applied = 0
         self.records_applied = 0
+
+    def reset(self) -> None:
+        """Drop everything applied so far (a snapshot is about to arrive).
+
+        Snapshot frames carry synthetic sequences from 1; any entries kept
+        from a previous incarnation would sit at higher sequences and stay
+        newest-visible over the snapshot's, resurrecting deletes.
+        """
+        with self._lock:
+            self._mem = make_memtable("dict")
+            self.last_applied = 0
+            self.records_applied = 0
 
     def apply(self, first_seq: int, batch: WriteBatch) -> None:
         with self._lock:
@@ -438,6 +455,8 @@ class Replica:
                     first_seq, batch = WriteBatch.deserialize(plain)
                     self.state.apply(first_seq, batch)
                     self.frames_received += 1
+                elif msg.opcode == protocol.RESP_REPL_SNAPSHOT_BEGIN:
+                    self.state.reset()
                 elif msg.opcode == protocol.RESP_REPL_POSITION:
                     self.state.advance_to(protocol.decode_sequence(msg.payload))
                     self.snapshots_received += 1

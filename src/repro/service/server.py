@@ -147,8 +147,14 @@ class KVServer:
         deadline = time.monotonic() + self.config.drain_timeout_s
         while not self._queue.empty() and time.monotonic() < deadline:
             time.sleep(0.01)
+        # Best-effort sentinels for a prompt wake-up; a full queue (stuck
+        # workers) is fine -- workers also exit via the stopping flag in
+        # their timed get, so stop() never blocks here.
         for __ in self._workers:
-            self._queue.put(None)
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                break
         for worker in self._workers:
             worker.join(timeout=2.0)
         if self._source is not None:
@@ -188,6 +194,11 @@ class KVServer:
                 name=f"kv-conn-{addr[1]}", daemon=True,
             )
             thread.start()
+            # Prune finished readers so a long-lived server doesn't hold a
+            # Thread object per connection it ever accepted.
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
             self._conn_threads.append(thread)
 
     def _reader_loop(self, conn: _Connection) -> None:
@@ -202,6 +213,15 @@ class KVServer:
                 if msg.opcode == protocol.OP_AUTH:
                     self._handle_auth(conn, msg)
                     continue
+                if msg.opcode == protocol.OP_REPL_SUBSCRIBE:
+                    # Exempt from the require_auth gate: the subscription
+                    # carries its own server ID, which _handle_subscribe
+                    # checks against the KDS -- the same policy decision
+                    # OP_AUTH would make.  The connection becomes a one-way
+                    # replication stream; this thread turns into its
+                    # streamer.
+                    self._handle_subscribe(conn, msg)
+                    return
                 if not self._connection_authorized(conn):
                     conn.send(Message(
                         protocol.RESP_ERROR, msg.request_id,
@@ -210,11 +230,6 @@ class KVServer:
                         )),
                     ))
                     continue
-                if msg.opcode == protocol.OP_REPL_SUBSCRIBE:
-                    # The connection becomes a one-way replication stream;
-                    # this thread turns into its streamer.
-                    self._handle_subscribe(conn, msg)
-                    return
                 try:
                     self._queue.put_nowait((conn, msg, time.perf_counter()))
                 except queue.Full:
@@ -297,7 +312,12 @@ class KVServer:
 
     def _worker_loop(self) -> None:
         while True:
-            item = self._queue.get()
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
             if item is None:
                 return
             conn, msg, enqueued_at = item

@@ -205,6 +205,80 @@ def test_late_attached_source_ships_snapshot_first():
     db.close()
 
 
+def test_snapshot_catchup_resets_carried_state():
+    """A snapshot must replace carried-over state, not layer on top of it.
+
+    Keys deleted while the replica was down are simply absent from the
+    snapshot; if the old entries (at higher real sequences than the
+    snapshot's synthetic ones) survived, they would stay newest-visible
+    forever -- resurrecting deletes and shadowing overwrites.
+    """
+    kds = InMemoryKDS()
+    db = _shield_db(kds)
+    state = ReplicaState()
+    with KVServer(db, ServiceConfig()) as server:
+        host, port = server.address
+        first = Replica(host, port, server_id="replica-1",
+                        key_client=KeyClient(kds, "replica-1"), state=state)
+        first.start()
+        for i in range(10):
+            db.put(b"sn-%02d" % i, b"v1-%02d" % i)
+        assert first.wait_until_caught_up(db.committed_sequence())
+        first.stop()
+    # While the replica is down: a delete and an overwrite, and the
+    # server (with its retained log) goes away entirely.
+    db.delete(b"sn-03")
+    db.put(b"sn-04", b"v2-04")
+    with KVServer(db, ServiceConfig()) as server:
+        # The fresh source's earliest_sequence is past the replica's
+        # resume point, so catch-up takes the snapshot path -- onto a
+        # replica that still carries its pre-crash state.
+        second = Replica(*server.address, server_id="replica-1",
+                         key_client=KeyClient(kds, "replica-1"), state=state)
+        second.start()
+        assert second.wait_until_caught_up(db.committed_sequence())
+        assert second.snapshots_received >= 1
+        assert second.get(b"sn-03") is None        # delete not resurrected
+        assert second.get(b"sn-04") == b"v2-04"    # overwrite not shadowed
+        pairs = second.scan(b"sn-", b"sn-\xff")
+        assert pairs == [(b"sn-%02d" % i,
+                          b"v2-04" if i == 4 else b"v1-%02d" % i)
+                         for i in range(10) if i != 3]
+        # Live tailing still works after the reset.
+        db.put(b"sn-live", b"v")
+        assert second.wait_until_caught_up(db.committed_sequence())
+        assert second.get(b"sn-live") == b"v"
+        second.stop()
+    db.close()
+
+
+def test_replication_through_require_auth_server():
+    """OP_REPL_SUBSCRIBE carries its own KDS-checked server ID, so a
+    replica needs no separate AUTH exchange even when the server demands
+    one from regular clients."""
+    kds = SimulatedKDS(request_latency_s=0.0)
+    kds.authorize_server("primary")
+    kds.authorize_server("replica-1")
+    db = _shield_db(kds)
+    with KVServer(db, ServiceConfig(require_auth=True)) as server:
+        replica = Replica(*server.address, server_id="replica-1",
+                          key_client=KeyClient(kds, "replica-1"))
+        replica.start()
+        db.put(b"k", b"v")
+        assert replica.wait_until_caught_up(db.committed_sequence())
+        assert replica.get(b"k") == b"v"
+        replica.stop()
+        # The exemption is not a bypass: an unauthorized replica is still
+        # refused by the KDS policy check inside the subscription.
+        evil = Replica(*server.address, server_id="replica-evil",
+                       key_client=KeyClient(kds, "replica-evil"))
+        evil.start()
+        assert evil.join(timeout=5.0)
+        assert isinstance(evil.last_error, AuthorizationError)
+        evil.stop()
+    db.close()
+
+
 def test_replica_scan_merges_applied_state():
     kds = InMemoryKDS()
     db = _shield_db(kds)

@@ -285,6 +285,28 @@ def test_busy_error_surfaces_when_retries_exhausted():
     blocking.db.close()
 
 
+def test_large_pipeline_does_not_deadlock_on_tcp_buffers():
+    """A pipeline far bigger than both TCP buffers must complete: the
+    sliding in-flight window reads responses while sending, so neither
+    side can end up blocked on a full peer buffer."""
+    db = _open_db(write_buffer_size=512 * 1024)
+    value = b"x" * 4096
+    count = 600
+    with KVServer(db, ServiceConfig(num_workers=2)) as server:
+        with KVClient(*server.address, timeout_s=30.0) as client:
+            pipe = client.pipeline(max_inflight=16)
+            for i in range(count):
+                pipe.put(b"big-%04d" % i, value)
+            assert pipe.execute() == [None] * count
+            pipe = client.pipeline(max_inflight=16)
+            for i in range(count):
+                pipe.get(b"big-%04d" % i)
+            results = pipe.execute()
+            assert len(results) == count
+            assert all(r == value for r in results)
+    db.close()
+
+
 # -- authorization -----------------------------------------------------------
 
 
@@ -346,6 +368,56 @@ def test_graceful_stop_completes_inflight_writes():
     client.close()
     for i in range(100):
         assert db.get(b"g-%03d" % i) == b"v"
+    db.close()
+
+
+def test_stop_returns_despite_full_queue_and_stuck_worker():
+    """Shutdown must stay bounded even when the request queue is full and
+    the only worker is wedged inside a handler (it cannot drain the queue
+    or accept a blocking sentinel put)."""
+    blocking = _BlockingDB(_open_db())
+    server = KVServer(blocking, ServiceConfig(
+        num_workers=1, max_queue_depth=1, drain_timeout_s=0.2,
+    )).start()
+    sock = socket.create_connection(server.address)
+    try:
+        protocol.send_message(sock, Message(
+            protocol.OP_GET, 1, protocol.encode_key(blocking.block_key)
+        ))
+        assert blocking.entered.wait(timeout=5.0)  # worker is wedged
+        protocol.send_message(sock, Message(
+            protocol.OP_GET, 2, protocol.encode_key(b"queued")
+        ))
+        deadline = time.monotonic() + 5.0
+        while server._queue.qsize() < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server._queue.qsize() == 1  # the bounded queue is full
+        started = time.monotonic()
+        server.stop()
+        assert time.monotonic() - started < 5.0
+    finally:
+        blocking.release.set()
+        sock.close()
+        blocking.db.close()
+
+
+def test_conn_thread_list_is_pruned():
+    """Dead reader threads are dropped at accept time, so the list does
+    not grow with every connection the server ever served."""
+    db = _open_db()
+    with KVServer(db, ServiceConfig()) as server:
+        for __ in range(8):
+            with KVClient(*server.address, pool_size=0) as client:
+                client.ping()
+        # Each fresh accept prunes readers that have since finished.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with KVClient(*server.address, pool_size=0) as client:
+                client.ping()
+            if len(server._conn_threads) <= 3:
+                break
+            time.sleep(0.01)
+        assert len(server._conn_threads) <= 3
     db.close()
 
 
