@@ -20,9 +20,10 @@ from dataclasses import replace
 
 import pytest
 
-from repro.bench.harness import RunResult, format_table
+from repro.bench.harness import RunResult, format_table, write_results_json
 from repro.bench.systems import make_system
 from repro.lsm.options import Options
+from repro.obs import costs
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -78,10 +79,17 @@ def best_of(repeats: int, fn):
     Single-core Python runs drift with allocator/caching warmup; for
     read-style workloads re-running on the same DB and keeping the best of
     two removes the bias that favours whichever system runs later.
+
+    Each attempt runs under ``costs.collect()``, so every kept
+    :class:`RunResult` carries its own per-op-class encrypt/kds/io
+    breakdown (the paper's latency-attribution decomposition).
     """
     best = None
     for _ in range(max(1, repeats)):
-        candidate = fn()
+        with costs.collect() as breakdown:
+            candidate = fn()
+        if not candidate.breakdown:
+            candidate.breakdown = breakdown.as_dict()
         if best is None or candidate.throughput > best.throughput:
             best = candidate
     return best
@@ -198,6 +206,12 @@ def report():
             title, results, baseline_name=baseline_name, extra_columns=extra_columns
         )
         emit(experiment, table)
+        write_results_json(
+            os.path.join(RESULTS_DIR, f"{experiment}.json"),
+            experiment,
+            results,
+            meta={"title": title, "baseline": baseline_name},
+        )
         return table
 
     return _report

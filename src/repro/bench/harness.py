@@ -7,6 +7,7 @@ the percentage overhead relative to the unencrypted baseline.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -16,13 +17,19 @@ from repro.util.stats import percentile_exact
 
 @dataclass
 class RunResult:
-    """One measured workload execution."""
+    """One measured workload execution.
+
+    ``breakdown`` is the per-op-class cost attribution collected through
+    :mod:`repro.obs.costs` -- ``{op_class: {encrypt_seconds, kds_seconds,
+    io_seconds, ...}}`` -- when the harness ran under ``costs.collect()``.
+    """
 
     name: str
     ops: int
     elapsed_s: float
     latencies_s: list[float] = field(default_factory=list, repr=False)
     extra: dict = field(default_factory=dict)
+    breakdown: dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -64,6 +71,36 @@ def measure_ops(
             count += 1
     elapsed = time.perf_counter() - start
     return RunResult(name=name, ops=count, elapsed_s=elapsed, latencies_s=latencies)
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """A JSON-ready summary row (latency percentiles, not raw samples)."""
+    return {
+        "name": result.name,
+        "ops": result.ops,
+        "elapsed_s": result.elapsed_s,
+        "throughput": result.throughput,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "mean_us": result.mean_us,
+        "extra": dict(result.extra),
+        "breakdown": dict(result.breakdown),
+    }
+
+
+def write_results_json(
+    path: str, experiment: str, results: list[RunResult], meta: dict | None = None
+) -> None:
+    """Persist an experiment's rows as ``results/<experiment>.json``."""
+    payload = {
+        "experiment": experiment,
+        "results": [result_to_dict(result) for result in results],
+    }
+    if meta:
+        payload["meta"] = meta
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def relative_overhead(baseline: RunResult, candidate: RunResult) -> float:

@@ -25,6 +25,7 @@ from repro.bench.harness import RunResult
 from repro.bench.keygen import LatestGenerator, ZipfianKeys, format_key
 from repro.bench.valuegen import ValueGenerator
 from repro.lsm.db import DB
+from repro.obs import costs
 
 
 @dataclass
@@ -92,24 +93,29 @@ def run_ycsb(
         roll = rand.random()
         op_start = time.perf_counter()
         if roll < mix.read:
-            db.get(choose_key())
+            with costs.op_class("read"):
+                db.get(choose_key())
             counts["read"] += 1
         elif roll < mix.read + mix.update:
-            db.put(choose_key(), values.next_value())
+            with costs.op_class("update"):
+                db.put(choose_key(), values.next_value())
             counts["update"] += 1
         elif roll < mix.read + mix.update + mix.insert:
             index = latest.advance()
             inserted += 1
-            db.put(format_key(index, spec.key_size), values.next_value())
+            with costs.op_class("insert"):
+                db.put(format_key(index, spec.key_size), values.next_value())
             counts["insert"] += 1
         elif roll < mix.read + mix.update + mix.insert + mix.scan:
             length = rand.randrange(1, spec.scan_length + 1)
-            db.scan(start=choose_key(), limit=length)
+            with costs.op_class("scan"):
+                db.scan(start=choose_key(), limit=length)
             counts["scan"] += 1
         else:
             key = choose_key()
-            db.get(key)
-            db.put(key, values.next_value())
+            with costs.op_class("rmw"):
+                db.get(key)
+                db.put(key, values.next_value())
             counts["rmw"] += 1
         latencies.append(time.perf_counter() - op_start)
     elapsed = time.perf_counter() - start

@@ -10,6 +10,7 @@ paper uses to explain the WAL-write bottleneck (Section 3.2 / Figure 4).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -18,6 +19,7 @@ from repro.crypto.chacha20 import ChaCha20Cipher
 from repro.crypto.ctr import CtrCipher
 from repro.crypto.xof import ShakeCtrCipher
 from repro.errors import EncryptionError
+from repro.obs import costs
 from repro.util.stats import StatsRegistry
 
 SCHEME_NONE = 0
@@ -106,23 +108,39 @@ def generate_nonce(scheme: str) -> bytes:
 
 
 class _MeteredCipher:
-    """Wrap a cipher so keystream/xor work is counted in CRYPTO_STATS."""
+    """Wrap a cipher so keystream/xor work is counted in CRYPTO_STATS.
+
+    Bulk work is also wall-timed: ``crypto.bulk_s`` (together with
+    ``crypto.init_s`` from :func:`create_cipher`) is the paper's
+    EVP-init-vs-bulk decomposition, and the same duration is charged to
+    any active cost-attribution context as ``encrypt``.
+    """
 
     def __init__(self, inner: StreamCipher):
         self._inner = inner
 
     def keystream(self, offset: int, length: int) -> bytes:
+        start = time.perf_counter()
+        out = self._inner.keystream(offset, length)
+        elapsed = time.perf_counter() - start
         CRYPTO_STATS.counter("crypto.bytes").add(length)
-        return self._inner.keystream(offset, length)
+        CRYPTO_STATS.histogram("crypto.bulk_s").record(elapsed)
+        costs.charge("encrypt", elapsed, length)
+        return out
 
     def xor_at(self, data: bytes, offset: int) -> bytes:
+        start = time.perf_counter()
+        out = self._inner.xor_at(data, offset)
+        elapsed = time.perf_counter() - start
         CRYPTO_STATS.counter("crypto.bytes").add(len(data))
         CRYPTO_STATS.counter("crypto.ops").add(1)
-        return self._inner.xor_at(data, offset)
+        CRYPTO_STATS.histogram("crypto.bulk_s").record(elapsed)
+        costs.charge("encrypt", elapsed, len(data))
+        return out
 
 
 def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
-    """Instantiate a cipher context (counted as one initialization)."""
+    """Instantiate a cipher context (counted and timed as one init)."""
     spec = spec_for(scheme)
     if len(key) != spec.key_size:
         raise EncryptionError(
@@ -132,5 +150,10 @@ def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
         raise EncryptionError(
             f"{spec.name} needs a {spec.nonce_size}-byte nonce, got {len(nonce)}"
         )
+    start = time.perf_counter()
+    context = spec.factory(key, nonce)
+    elapsed = time.perf_counter() - start
     CRYPTO_STATS.counter("crypto.context_inits").add(1)
-    return _MeteredCipher(spec.factory(key, nonce))
+    CRYPTO_STATS.histogram("crypto.init_s").record(elapsed)
+    costs.charge("encrypt_init", elapsed)
+    return _MeteredCipher(context)

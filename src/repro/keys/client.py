@@ -3,14 +3,21 @@
 Combines a KDS (possibly remote, with latency) and the optional secure local
 cache.  DEK lookups hit the cache first; only misses pay the KDS round-trip
 (Section 5.2).  All traffic is counted so benchmarks can report how many
-network requests the cache absorbed.
+network requests the cache absorbed; every actual KDS round-trip is also
+wall-timed (``keyclient.kds_s``), traced as a span, and charged to the
+active cost-attribution context as ``kds`` time -- the per-op KDS share of
+Fig. 16's latency decomposition.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.keys.cache import SecureDEKCache
 from repro.keys.dek import DEK
 from repro.keys.kds import KeyDistributionService
+from repro.obs import costs
+from repro.obs.trace import TRACER
 from repro.util.stats import StatsRegistry
 
 
@@ -30,9 +37,18 @@ class KeyClient:
         self.default_scheme = default_scheme
         self.stats = StatsRegistry()
 
+    def _charge(self, start: float) -> None:
+        elapsed = time.perf_counter() - start
+        self.stats.histogram("keyclient.kds_s").record(elapsed)
+        costs.charge("kds", elapsed)
+
     def new_dek(self, scheme: str | None = None) -> DEK:
         """Provision a fresh DEK (one KDS round-trip) and cache it."""
-        dek = self.kds.provision(self.server_id, scheme or self.default_scheme)
+        with TRACER.span("kds.provision") as span:
+            start = time.perf_counter()
+            dek = self.kds.provision(self.server_id, scheme or self.default_scheme)
+            self._charge(start)
+            span.set_attribute("dek_id", dek.dek_id)
         self.stats.counter("keyclient.provisions").add(1)
         if self.cache is not None:
             self.cache.put(dek)
@@ -45,7 +61,10 @@ class KeyClient:
             if cached is not None:
                 self.stats.counter("keyclient.cache_hits").add(1)
                 return cached
-        dek = self.kds.fetch(self.server_id, dek_id)
+        with TRACER.span("kds.fetch", attributes={"dek_id": dek_id}):
+            start = time.perf_counter()
+            dek = self.kds.fetch(self.server_id, dek_id)
+            self._charge(start)
         self.stats.counter("keyclient.kds_fetches").add(1)
         if self.cache is not None:
             self.cache.put(dek)
@@ -53,7 +72,10 @@ class KeyClient:
 
     def retire_dek(self, dek_id: str) -> None:
         """Destroy a DEK everywhere once its file is gone (DEK rotation)."""
-        self.kds.retire(dek_id)
+        with TRACER.span("kds.retire", attributes={"dek_id": dek_id}):
+            start = time.perf_counter()
+            self.kds.retire(dek_id)
+            self._charge(start)
         self.stats.counter("keyclient.retired").add(1)
         if self.cache is not None:
             self.cache.remove(dek_id)

@@ -43,6 +43,7 @@ from repro.lsm.sst import SSTBuilder, SSTReader
 from repro.lsm.version import FileMetadata, VersionEdit, VersionSet
 from repro.lsm.wal import WALWriter, read_wal_records
 from repro.lsm.write_batch import WriteBatch
+from repro.obs.trace import TRACER
 from repro.util.lru import LRUCache
 from repro.util.stats import StatsRegistry
 
@@ -211,11 +212,12 @@ class DB:
             return
         opts = opts or WriteOptions()
         request = _WriteRequest(batch, opts)
-        with self._mutex:
-            self._write_queue.append(request)
-        with self._write_lock:
-            if not request.done:
-                self._commit_group_as_leader()
+        with TRACER.span("db.write", attributes={"ops": len(batch)}):
+            with self._mutex:
+                self._write_queue.append(request)
+            with self._write_lock:
+                if not request.done:
+                    self._commit_group_as_leader()
         if request.error is not None:
             raise request.error
 
@@ -441,7 +443,12 @@ class DB:
             mem, wal_number, wal_dek = target
             self._flushing.add(wal_number)
         try:
-            meta = self._write_sst_from_memtable(mem)
+            with TRACER.span(
+                "db.flush_job", attributes={"wal_number": wal_number}
+            ) as span:
+                meta = self._write_sst_from_memtable(mem)
+                span.set_attribute("output_bytes", meta.size)
+                span.set_attribute("entries", meta.num_entries)
             with self._mutex:
                 # WALs older than every still-live memtable's WAL are obsolete.
                 other_logs = [
@@ -504,20 +511,32 @@ class DB:
         self.stats.counter("db.fifo_expirations").add(len(job.input_files()))
 
     def _run_merge_compaction(self, job: CompactionJob) -> None:
-        if self.options.compaction_service is not None:
-            outputs = self._merge_via_service(job)
-        else:
-            outputs = self._merge_locally(job)
+        with TRACER.span(
+            "db.compaction",
+            attributes={
+                "inputs": len(job.input_files()),
+                "input_bytes": job.total_input_bytes(),
+                "output_level": job.output_level,
+                "offloaded": self.options.compaction_service is not None,
+            },
+        ) as span:
+            if self.options.compaction_service is not None:
+                outputs = self._merge_via_service(job)
+            else:
+                outputs = self._merge_locally(job)
+            span.set_attribute(
+                "output_bytes", sum(meta.size for meta in outputs)
+            )
 
-        edit = VersionEdit()
-        for level, meta in job.input_files():
-            edit.delete_file(level, meta.number)
-        for meta in outputs:
-            edit.add_file(job.output_level, meta)
-        with self._mutex:
-            self._versions.log_and_apply(edit)
-        for __, meta in job.input_files():
-            self._drop_table(meta)
+            edit = VersionEdit()
+            for level, meta in job.input_files():
+                edit.delete_file(level, meta.number)
+            for meta in outputs:
+                edit.add_file(job.output_level, meta)
+            with self._mutex:
+                self._versions.log_and_apply(edit)
+            for __, meta in job.input_files():
+                self._drop_table(meta)
 
         self.stats.counter("db.compactions").add(1)
         self.stats.counter("db.compaction_bytes_read").add(job.total_input_bytes())
@@ -659,12 +678,16 @@ class DB:
         # may unlink a file we are about to open, or retire its DEK from the
         # KDS.  Retrying with a fresh version is always correct: the data
         # moved, it didn't disappear.
-        for _attempt in range(8):
-            try:
-                return self._get_once(key, snapshot)
-            except (IOError_, NotFoundError, KeyManagementError):
-                continue
-        return self._get_once(key, snapshot)
+        with TRACER.span("db.get") as span:
+            for _attempt in range(8):
+                try:
+                    value = self._get_once(key, snapshot)
+                    span.set_attribute("found", value is not None)
+                    return value
+                except (IOError_, NotFoundError, KeyManagementError):
+                    span.incr("retries")
+                    continue
+            return self._get_once(key, snapshot)
 
     def _get_once(self, key: bytes, snapshot: int) -> bytes | None:
         with self._mutex:
@@ -702,15 +725,16 @@ class DB:
         opts = opts or ReadOptions()
         snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
         results: dict[bytes, bytes | None] = {}
-        for key in sorted(set(keys)):
-            for _attempt in range(8):
-                try:
+        with TRACER.span("db.multi_get", attributes={"keys": len(keys)}):
+            for key in sorted(set(keys)):
+                for _attempt in range(8):
+                    try:
+                        results[key] = self._get_once(key, snapshot)
+                        break
+                    except (IOError_, NotFoundError, KeyManagementError):
+                        continue
+                else:
                     results[key] = self._get_once(key, snapshot)
-                    break
-                except (IOError_, NotFoundError, KeyManagementError):
-                    continue
-            else:
-                results[key] = self._get_once(key, snapshot)
         self.stats.counter("db.multigets").add(1)
         return results
 
@@ -724,12 +748,16 @@ class DB:
         """Range scan: [start, end) up to ``limit`` pairs."""
         opts = opts or ReadOptions()
         snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
-        for _attempt in range(8):
-            try:
-                return self._scan_once(start, end, limit, snapshot)
-            except (IOError_, NotFoundError, KeyManagementError):
-                continue
-        return self._scan_once(start, end, limit, snapshot)
+        with TRACER.span("db.scan") as span:
+            for _attempt in range(8):
+                try:
+                    results = self._scan_once(start, end, limit, snapshot)
+                    span.set_attribute("results", len(results))
+                    return results
+                except (IOError_, NotFoundError, KeyManagementError):
+                    span.incr("retries")
+                    continue
+            return self._scan_once(start, end, limit, snapshot)
 
     def _scan_once(
         self,
@@ -863,6 +891,24 @@ class DB:
                 f"{self._block_cache.hits} hits / {self._block_cache.misses} misses"
             )
         return "\n".join(lines)
+
+    def stats_snapshot(self) -> dict:
+        """The full metrics snapshot plus block-cache and tree-shape gauges.
+
+        This is what the serving tier exports over OP_STATS and what
+        ``repro-stats`` renders -- a superset of ``stats.snapshot()``.
+        """
+        snap = self.stats.snapshot()
+        if self._block_cache is not None:
+            snap["db.block_cache.hits"] = self._block_cache.hits
+            snap["db.block_cache.misses"] = self._block_cache.misses
+            snap["db.block_cache.usage_bytes"] = self._block_cache.usage
+        with self._mutex:
+            snap["db.immutable_memtables"] = len(self._imm)
+            snap["db.last_sequence"] = self._versions.last_sequence
+            snap["db.live_files"] = self._versions.current.num_files()
+            snap["db.total_sst_bytes"] = self._versions.current.total_size()
+        return snap
 
     def snapshot(self) -> int:
         """A sequence number usable as ReadOptions.snapshot.

@@ -43,6 +43,7 @@ from repro.lsm.envelope import (
 )
 from repro.lsm.filecrypto import CryptoProvider, FileCrypto
 from repro.lsm.options import Options
+from repro.obs.trace import TRACER
 from repro.util.checksum import masked_crc32
 from repro.util.coding import (
     decode_fixed32,
@@ -292,10 +293,15 @@ class SSTReader:
     def _load_block(self, block_index: int) -> list[Entry]:
         __, offset, size, crc = self._index[block_index]
         cache_key = (self.path, offset)
+        span = TRACER.current()
         if self._cache is not None:
             cached = self._cache.get(cache_key)
             if cached is not None:
+                if span is not None:
+                    span.incr("block_cache_hits")
                 return cached
+        if span is not None:
+            span.incr("block_cache_misses")
         raw = self._read_payload(offset, size)
         if self._options.verify_checksums and masked_crc32(raw) != crc:
             raise CorruptionError(f"{self.path}: block checksum mismatch at {offset}")

@@ -26,6 +26,7 @@ from repro.env.base import Env
 from repro.errors import CorruptionError
 from repro.lsm.envelope import FILE_KIND_WAL, MAX_ENVELOPE_SIZE, decode_envelope
 from repro.lsm.filecrypto import CryptoProvider, FileCrypto
+from repro.obs.trace import TRACER
 from repro.util.checksum import masked_crc32
 from repro.util.coding import (
     decode_fixed32,
@@ -75,36 +76,42 @@ class WALWriter:
 
     def add_record(self, payload: bytes) -> None:
         """Append one record (possibly deferring it to the buffer)."""
-        frame = frame_record(payload)
-        self.records_written += 1
-        if self.buffer_size > 0:
-            self._buffer.extend(frame)
-            if len(self._buffer) >= self.buffer_size:
-                self.flush_buffer()
-        else:
-            encrypted = self._crypto.encrypt(frame, self._payload_offset)
-            self._file.append(encrypted)
-            self._payload_offset += len(frame)
-            if self.sync_writes:
-                self._file.sync()
+        with TRACER.span("wal.append") as span:
+            frame = frame_record(payload)
+            span.set_attribute("nbytes", len(frame))
+            self.records_written += 1
+            if self.buffer_size > 0:
+                self._buffer.extend(frame)
+                span.set_attribute("buffered", True)
+                if len(self._buffer) >= self.buffer_size:
+                    self.flush_buffer()
+            else:
+                encrypted = self._crypto.encrypt(frame, self._payload_offset)
+                self._file.append(encrypted)
+                self._payload_offset += len(frame)
+                if self.sync_writes:
+                    self._file.sync()
 
     def flush_buffer(self) -> None:
         """Encrypt and persist everything currently buffered (one context)."""
         if not self._buffer:
             return
-        chunk = bytes(self._buffer)
-        self._buffer.clear()
-        encrypted = self._crypto.encrypt(chunk, self._payload_offset)
-        self._file.append(encrypted)
-        self._payload_offset += len(chunk)
-        self.buffer_flushes += 1
-        if self.sync_writes:
-            self._file.sync()
+        with TRACER.span("wal.flush_buffer") as span:
+            chunk = bytes(self._buffer)
+            span.set_attribute("nbytes", len(chunk))
+            self._buffer.clear()
+            encrypted = self._crypto.encrypt(chunk, self._payload_offset)
+            self._file.append(encrypted)
+            self._payload_offset += len(chunk)
+            self.buffer_flushes += 1
+            if self.sync_writes:
+                self._file.sync()
 
     def sync(self) -> None:
         """Flush the application buffer and fsync the file."""
-        self.flush_buffer()
-        self._file.sync()
+        with TRACER.span("wal.sync"):
+            self.flush_buffer()
+            self._file.sync()
 
     def close(self) -> None:
         if self._closed:

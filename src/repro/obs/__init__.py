@@ -1,0 +1,37 @@
+"""repro.obs: tracing, cost attribution, and metrics export.
+
+The observability subsystem spans every layer of the reproduction:
+
+- :mod:`repro.obs.trace` -- spans with thread-local context propagation,
+  a ring-buffer sink, a JSONL file sink, sampling, and the wire-header
+  encoding that lets client-side spans parent server-side ones;
+- :mod:`repro.obs.costs` -- per-op-class attribution of encryption, KDS,
+  and I/O time (the paper's latency-decomposition figures).
+
+Metric *types* (Counter / Gauge / Histogram / StatsRegistry) stay in
+:mod:`repro.util.stats`, where the engine has always reported.
+"""
+
+from repro.obs import costs
+from repro.obs.trace import (
+    DEFAULT_RING,
+    JSONLFileSink,
+    NULL_SPAN,
+    RingBufferSink,
+    Span,
+    SpanContext,
+    TRACER,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_RING",
+    "JSONLFileSink",
+    "NULL_SPAN",
+    "RingBufferSink",
+    "Span",
+    "SpanContext",
+    "TRACER",
+    "Tracer",
+    "costs",
+]

@@ -23,6 +23,7 @@ import time
 
 from repro.errors import BusyError, ServiceError
 from repro.lsm.write_batch import WriteBatch
+from repro.obs.trace import TRACER
 from repro.service import protocol
 from repro.service.protocol import Message
 
@@ -55,10 +56,12 @@ class _PooledConnection:
             raise ConnectionError("server closed the connection")
         return msg
 
-    def request(self, opcode: int, payload: bytes = b"") -> Message:
+    def request(
+        self, opcode: int, payload: bytes = b"", trace: bytes = b""
+    ) -> Message:
         """One in-flight request: send, read the matching response."""
         request_id = self.next_request_id()
-        self.send(Message(opcode, request_id, payload))
+        self.send(Message(opcode, request_id, payload, trace))
         response = self.read()
         if response.request_id != request_id:
             raise ServiceError(
@@ -142,36 +145,44 @@ class KVClient:
 
     def _request(self, opcode: int, payload: bytes = b"") -> Message:
         """Send one request, retrying on BUSY and transient socket errors."""
-        last_error: Exception | None = None
-        for attempt in range(self.max_retries + 1):
-            try:
-                conn = self._acquire()
-            except OSError as exc:
-                last_error = exc
-                self.retries += 1
-                self._backoff(attempt)
-                continue
-            try:
-                response = conn.request(opcode, payload)
-            except (OSError, protocol.ProtocolError) as exc:
-                conn.close()
-                last_error = exc
-                self.retries += 1
-                self._backoff(attempt)
-                continue
-            if response.opcode == protocol.RESP_BUSY:
+        op_name = protocol.OPCODE_NAMES.get(opcode, str(opcode))
+        with TRACER.span(f"client.{op_name}") as span:
+            trace = TRACER.inject()
+            last_error: Exception | None = None
+            for attempt in range(self.max_retries + 1):
+                try:
+                    conn = self._acquire()
+                except OSError as exc:
+                    last_error = exc
+                    self.retries += 1
+                    span.incr("retries")
+                    self._backoff(attempt)
+                    continue
+                try:
+                    response = conn.request(opcode, payload, trace)
+                except (OSError, protocol.ProtocolError) as exc:
+                    conn.close()
+                    last_error = exc
+                    self.retries += 1
+                    span.incr("retries")
+                    self._backoff(attempt)
+                    continue
+                if response.opcode == protocol.RESP_BUSY:
+                    self._release(conn)
+                    last_error = BusyError("server queue full")
+                    self.busy_retries += 1
+                    span.incr("busy_retries")
+                    self._backoff(attempt)
+                    continue
                 self._release(conn)
-                last_error = BusyError("server queue full")
-                self.busy_retries += 1
-                self._backoff(attempt)
-                continue
-            self._release(conn)
-            if response.opcode == protocol.RESP_ERROR:
-                raise protocol.decode_error(response.payload)
-            return response
-        if isinstance(last_error, BusyError):
-            raise last_error
-        raise ServiceError(f"request failed after retries: {last_error!r}")
+                if response.opcode == protocol.RESP_ERROR:
+                    raise protocol.decode_error(response.payload)
+                return response
+            if isinstance(last_error, BusyError):
+                raise last_error
+            raise ServiceError(
+                f"request failed after retries: {last_error!r}"
+            )
 
     # -- DB-shaped surface -------------------------------------------------
 
@@ -269,38 +280,45 @@ class Pipeline:
             return []
         ops, self._ops = self._ops, []
         client = self._client
-        conn = client._acquire()
-        responses: dict[int, Message] = {}
-        id_for_index: list[int] = []
-        try:
-            inflight = 0
-            for opcode, payload in ops:
-                if inflight >= self._max_inflight:
+        with TRACER.span(
+            "client.pipeline", attributes={"ops": len(ops)}
+        ) as span:
+            trace = TRACER.inject()
+            conn = client._acquire()
+            responses: dict[int, Message] = {}
+            id_for_index: list[int] = []
+            try:
+                inflight = 0
+                for opcode, payload in ops:
+                    if inflight >= self._max_inflight:
+                        response = conn.read()
+                        responses[response.request_id] = response
+                        inflight -= 1
+                    request_id = conn.next_request_id()
+                    id_for_index.append(request_id)
+                    conn.send(Message(opcode, request_id, payload, trace))
+                    inflight += 1
+                while inflight:
                     response = conn.read()
                     responses[response.request_id] = response
                     inflight -= 1
-                request_id = conn.next_request_id()
-                id_for_index.append(request_id)
-                conn.send(Message(opcode, request_id, payload))
-                inflight += 1
-            while inflight:
-                response = conn.read()
-                responses[response.request_id] = response
-                inflight -= 1
-        except (OSError, protocol.ProtocolError) as exc:
-            conn.close()
-            raise ServiceError(f"pipeline failed mid-flight: {exc!r}") from exc
-        client._release(conn)
+            except (OSError, protocol.ProtocolError) as exc:
+                conn.close()
+                raise ServiceError(
+                    f"pipeline failed mid-flight: {exc!r}"
+                ) from exc
+            client._release(conn)
 
-        results = []
-        for (opcode, payload), request_id in zip(ops, id_for_index):
-            response = responses.get(request_id)
-            if response is None or response.opcode == protocol.RESP_BUSY:
-                # Bounced by backpressure: retry through the slow path.
-                client.busy_retries += 1
-                response = client._request(opcode, payload)
-            results.append(self._decode(opcode, response))
-        return results
+            results = []
+            for (opcode, payload), request_id in zip(ops, id_for_index):
+                response = responses.get(request_id)
+                if response is None or response.opcode == protocol.RESP_BUSY:
+                    # Bounced by backpressure: retry through the slow path.
+                    client.busy_retries += 1
+                    span.incr("busy_retries")
+                    response = client._request(opcode, payload)
+                results.append(self._decode(opcode, response))
+            return results
 
     @staticmethod
     def _decode(opcode: int, response: Message):

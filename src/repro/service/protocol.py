@@ -14,6 +14,12 @@ frames (``RESP_REPL_*``) are server-initiated pushes on a subscribed
 connection; their payload is a CTR-encrypted WAL record, the stream key
 being a fresh DEK whose ID the replica resolves through its own
 KeyClient -- the wire never carries plaintext WAL bytes.
+
+Tracing: a frame whose opcode byte has :data:`TRACE_FLAG` set carries a
+length-prefixed trace-context header (``repro.obs``'s 17-byte span
+context) between the request id and the payload.  That is how a
+client-side span parents the server-side one; untraced frames are
+byte-identical to protocol version 1.
 """
 
 from __future__ import annotations
@@ -36,7 +42,12 @@ from repro.util.coding import (
     encode_varint64,
 )
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Opcode-byte flag marking a frame that carries a trace-context header.
+#: Request opcodes stay below 0x20 and response opcodes avoid the 0x40 bit,
+#: so masking the flag back out is unambiguous.
+TRACE_FLAG = 0x40
 
 # -- request opcodes ---------------------------------------------------------
 OP_GET = 1
@@ -88,11 +99,12 @@ class ProtocolError(CorruptionError):
 
 @dataclass(frozen=True)
 class Message:
-    """One parsed frame."""
+    """One parsed frame.  ``trace`` is the opaque trace-context header."""
 
     opcode: int
     request_id: int
     payload: bytes = b""
+    trace: bytes = b""
 
 
 # ---------------------------------------------------------------------------
@@ -102,7 +114,15 @@ class Message:
 
 def encode_frame(msg: Message) -> bytes:
     """Serialize a message to its on-wire frame (length prefix included)."""
-    body = bytes([msg.opcode]) + encode_varint64(msg.request_id) + msg.payload
+    if msg.trace:
+        body = (
+            bytes([msg.opcode | TRACE_FLAG])
+            + encode_varint64(msg.request_id)
+            + encode_length_prefixed(msg.trace)
+            + msg.payload
+        )
+    else:
+        body = bytes([msg.opcode]) + encode_varint64(msg.request_id) + msg.payload
     return (
         encode_fixed32(len(body) + 4)
         + encode_fixed32(masked_crc32(body))
@@ -120,7 +140,17 @@ def decode_frame_body(body: bytes) -> Message:
         raise ProtocolError("empty frame body")
     opcode = rest[0]
     request_id, pos = decode_varint64(rest, 1)
-    return Message(opcode=opcode, request_id=request_id, payload=bytes(rest[pos:]))
+    trace = b""
+    if opcode & TRACE_FLAG:
+        opcode &= ~TRACE_FLAG
+        trace_raw, pos = decode_length_prefixed(rest, pos)
+        trace = bytes(trace_raw)
+    return Message(
+        opcode=opcode,
+        request_id=request_id,
+        payload=bytes(rest[pos:]),
+        trace=trace,
+    )
 
 
 def recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:

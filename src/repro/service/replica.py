@@ -137,7 +137,7 @@ def stream_to_replica(
     ``conn`` is the server's connection object (``send``/``close``/
     ``alive``).  This call owns the connection's reader thread.
     """
-    __, resume_seq = protocol.decode_repl_subscribe(request.payload)
+    replica_id, resume_seq = protocol.decode_repl_subscribe(request.payload)
     crypto, nonce = _make_stream_crypto(key_client)
     conn.send(Message(
         protocol.RESP_REPL_ACCEPT,
@@ -148,6 +148,12 @@ def stream_to_replica(
     ))
     offset = 0
     position = resume_seq
+    # Exported through OP_STATS: the server derives per-replica lag from
+    # this gauge against its committed sequence.
+    position_gauge = stats.gauge(f"service.repl_position.{replica_id}")
+    position_gauge.set(position)
+    streams_gauge = stats.gauge("service.repl_streams")
+    streams_gauge.add(1)
 
     def push(opcode: int, plain: bytes) -> None:
         nonlocal offset
@@ -184,6 +190,7 @@ def stream_to_replica(
                 protocol.encode_sequence(snapshot_seq),
             )
             position = snapshot_seq
+            position_gauge.set(position)
         while conn.alive and not stopping.is_set():
             records = source.wait_records_after(position, timeout=0.2)
             if not records and source.closed:
@@ -193,10 +200,12 @@ def stream_to_replica(
                     continue
                 push(protocol.RESP_REPL_FRAME, payload)
                 position = max(position, last_seq)
+                position_gauge.set(position)
                 stats.counter("service.repl_frames").add(1)
     except OSError:
         pass  # replica went away; it will resubscribe with its position
     finally:
+        streams_gauge.add(-1)
         conn.close()
 
 

@@ -31,7 +31,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.crypto.cipher import CRYPTO_STATS
 from repro.errors import AuthorizationError, InvalidArgumentError, ServiceError
+from repro.obs.trace import TRACER
 from repro.service import protocol
 from repro.service.protocol import Message
 from repro.service.replica import ReplicationSource, stream_to_replica
@@ -323,16 +325,24 @@ class KVServer:
             conn, msg, enqueued_at = item
             op_name = protocol.OPCODE_NAMES.get(msg.opcode, f"op{msg.opcode}")
             started = time.perf_counter()
-            self.stats.histogram("service.queue_wait_s").record(
-                started - enqueued_at
-            )
-            try:
-                reply = self._execute(msg)
-            except Exception as exc:  # noqa: BLE001 - every error goes on the wire
-                self.stats.counter("service.errors").add(1)
-                reply = Message(
-                    protocol.RESP_ERROR, msg.request_id, protocol.encode_error(exc)
-                )
+            queue_wait = started - enqueued_at
+            self.stats.histogram("service.queue_wait_s").record(queue_wait)
+            # The wire trace header (if any) parents this server-side span
+            # under the client's span -- one trace across both processes.
+            with TRACER.span(
+                f"server.{op_name}",
+                parent=TRACER.extract(msg.trace),
+                attributes={"queue_wait_s": queue_wait},
+            ) as span:
+                try:
+                    reply = self._execute(msg)
+                except Exception as exc:  # noqa: BLE001 - every error goes on the wire
+                    self.stats.counter("service.errors").add(1)
+                    span.set_attribute("error", type(exc).__name__)
+                    reply = Message(
+                        protocol.RESP_ERROR, msg.request_id,
+                        protocol.encode_error(exc),
+                    )
             self.stats.counter(f"service.{op_name}").add(1)
             self.stats.histogram(f"service.latency.{op_name}").record(
                 time.perf_counter() - started
@@ -399,15 +409,40 @@ class KVServer:
         raise InvalidArgumentError(f"unknown opcode {op}")
 
     def _stats_dict(self) -> dict:
-        engine_stats = getattr(self.db, "stats", None)
-        if engine_stats is not None:
-            engine = engine_stats.snapshot()
+        """The merged OP_STATS snapshot: every layer this server can see.
+
+        Sections: ``server`` (queue/latency/backpressure), ``engine``
+        (counters, block cache, tree shape), ``crypto`` (context inits,
+        bytes, init-vs-bulk seconds), ``keyclient`` (KDS round-trips and
+        cache hits), ``replication`` (per-replica stream position and lag
+        derived from the position gauges), plus ``committed_sequence``.
+        """
+        if hasattr(self.db, "stats_snapshot"):
+            engine = self.db.stats_snapshot()
+        elif getattr(self.db, "stats", None) is not None:
+            engine = self.db.stats.snapshot()
         elif hasattr(self.db, "stats_totals"):
             engine = self.db.stats_totals()
         else:
             engine = {}
-        return {
-            "server": self.stats.snapshot(),
+        committed = self._committed_sequence()
+        server = self.stats.snapshot()
+        prefix = "service.repl_position."
+        replication = {}
+        for name, value in server.items():
+            if name.startswith(prefix):
+                replica_id = name[len(prefix):]
+                replication[replica_id] = {
+                    "position": value,
+                    "lag": max(0, committed - value),
+                }
+        out = {
+            "server": server,
             "engine": engine,
-            "committed_sequence": self._committed_sequence(),
+            "crypto": CRYPTO_STATS.snapshot(),
+            "replication": replication,
+            "committed_sequence": committed,
         }
+        if self._key_client is not None and hasattr(self._key_client, "stats"):
+            out["keyclient"] = self._key_client.stats.snapshot()
+        return out

@@ -32,6 +32,32 @@ class Counter:
             self._value = 0
 
 
+class Gauge:
+    """A thread-safe point-in-time value (replication lag, queue depth)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
 class Histogram:
     """Exponential-bucket latency histogram (microsecond-scale friendly).
 
@@ -69,15 +95,45 @@ class Histogram:
     def percentile(self, p: float) -> float:
         """Return the approximate ``p``-th percentile (p in [0, 100])."""
         with self._lock:
+            return self._percentile_locked(p)
+
+    def _percentile_locked(self, p: float) -> float:
+        if self._n == 0:
+            return 0.0
+        target = self._n * p / 100.0
+        cumulative = 0
+        for bucket in sorted(self._counts):
+            cumulative += self._counts[bucket]
+            if cumulative >= target:
+                return min(self._bucket_upper(bucket), self._max)
+        return self._max
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/mean/p50/p95/p99/max in one lock acquisition."""
+        with self._lock:
             if self._n == 0:
-                return 0.0
-            target = self._n * p / 100.0
-            cumulative = 0
-            for bucket in sorted(self._counts):
-                cumulative += self._counts[bucket]
-                if cumulative >= target:
-                    return min(self._bucket_upper(bucket), self._max)
-            return self._max
+                return {
+                    "count": 0, "sum": 0.0, "mean": 0.0, "p50": 0.0,
+                    "p95": 0.0, "p99": 0.0, "max": 0.0,
+                }
+            return {
+                "count": self._n,
+                "sum": self._sum,
+                "mean": self._sum / self._n,
+                "p50": self._percentile_locked(50),
+                "p95": self._percentile_locked(95),
+                "p99": self._percentile_locked(99),
+                "max": self._max,
+            }
+
+    def reset(self) -> None:
+        """Zero the histogram *in place*: held references keep recording."""
+        with self._lock:
+            self._counts.clear()
+            self._n = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
 
     @property
     def count(self) -> int:
@@ -105,6 +161,7 @@ class StatsRegistry:
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -114,6 +171,12 @@ class StatsRegistry:
                 self._counters[name] = Counter(name)
             return self._counters[name]
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             if name not in self._histograms:
@@ -121,24 +184,37 @@ class StatsRegistry:
             return self._histograms[name]
 
     def snapshot(self) -> dict[str, float]:
-        """Flatten every metric into a name -> value mapping."""
+        """Flatten every metric into a name -> value mapping.
+
+        Counters and gauges appear under their bare name; each histogram
+        contributes ``.count``/``.sum``/``.mean``/``.p50``/``.p95``/
+        ``.p99``/``.max`` (the pre-existing keys are kept for backward
+        compatibility).
+        """
         out: dict[str, float] = {}
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         for name, counter in counters.items():
             out[name] = counter.value
+        for name, gauge in gauges.items():
+            out[name] = gauge.value
         for name, hist in histograms.items():
-            out[f"{name}.count"] = hist.count
-            out[f"{name}.mean"] = hist.mean
-            out[f"{name}.p99"] = hist.percentile(99)
+            summary = hist.summary()
+            for stat, value in summary.items():
+                out[f"{name}.{stat}"] = value
         return out
 
     def reset(self) -> None:
+        """Zero every metric in place (held references stay live)."""
         with self._lock:
             for counter in self._counters.values():
                 counter.reset()
-            self._histograms.clear()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
 
 
 def percentile_exact(values: list[float], p: float) -> float:

@@ -149,6 +149,34 @@ def test_metered_env_passthrough_ops():
     assert not metered.file_exists("/b.sst")
 
 
+def test_metered_env_namespace_op_counters():
+    metered = MeteredEnv(MemEnv())
+    metered.write_file("/db/1.sst", b"1")
+    metered.write_file("/db/2.log", b"2")
+    metered.rename_file("/db/2.log", "/db/3.log")
+    metered.list_dir("/db")
+    metered.list_dir("/db")
+    metered.delete_file("/db/1.sst")
+    assert metered.namespace_ops("rename", "wal") == 1
+    assert metered.namespace_ops("delete", "sst") == 1
+    assert metered.namespace_ops("list") == 2
+    assert metered.stats.counter("io.delete.ops.sst").value == 1
+    assert metered.stats.counter("io.rename.ops.wal").value == 1
+    assert metered.stats.counter("io.list.ops").value == 2
+
+
+def test_metered_env_io_time_histograms():
+    metered = MeteredEnv(MemEnv())
+    with metered.new_writable_file("/db/1.log") as handle:
+        handle.append(b"x" * 64)
+        handle.sync()
+    metered.read_file("/db/1.log")
+    snap = metered.stats.snapshot()
+    assert snap["io.write_s.wal.count"] >= 1
+    assert snap["io.sync_s.wal.count"] == 1
+    assert snap["io.read_s.wal.count"] >= 1
+
+
 def test_latency_model_costs():
     model = LatencyModel(read_op_s=0.001, write_op_s=0.002, bandwidth_bytes_per_s=1000)
     assert model.read_cost(1000) == pytest.approx(1.001)

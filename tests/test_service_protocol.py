@@ -33,6 +33,36 @@ def test_frame_roundtrip_large_request_id():
     assert protocol.decode_frame_body(protocol.encode_frame(msg)[4:]) == msg
 
 
+def test_frame_roundtrip_with_trace_header():
+    trace = bytes(range(16)) + b"\x01"
+    msg = Message(protocol.OP_PUT, 7, b"payload", trace)
+    decoded = protocol.decode_frame_body(protocol.encode_frame(msg)[4:])
+    assert decoded == msg
+    assert decoded.trace == trace
+    assert decoded.payload == b"payload"
+
+
+def test_untraced_frame_is_byte_identical_to_v1():
+    # A frame without a trace header must not change shape: the opcode
+    # byte carries no TRACE_FLAG and no length-prefixed header follows.
+    msg = Message(protocol.OP_GET, 3, b"key")
+    frame = protocol.encode_frame(msg)
+    assert frame[8] == protocol.OP_GET  # length(4) + crc(4) -> opcode byte
+    traced = protocol.encode_frame(Message(protocol.OP_GET, 3, b"key", b"\x01" * 17))
+    assert traced[8] == protocol.OP_GET | protocol.TRACE_FLAG
+    assert len(traced) == len(frame) + 1 + 17  # lp-len byte + context
+
+
+def test_trace_flag_never_collides_with_opcodes():
+    opcodes = [
+        value for name, value in vars(protocol).items()
+        if name.startswith(("OP_", "RESP_"))
+    ]
+    for opcode in opcodes:
+        assert opcode & protocol.TRACE_FLAG == 0
+        assert opcode | protocol.TRACE_FLAG < 256
+
+
 @pytest.mark.parametrize("flip_at", [4, 8, 9, -1])
 def test_corrupted_frame_fails_crc(flip_at):
     frame = bytearray(protocol.encode_frame(Message(protocol.OP_PUT, 7, b"abcdef")))

@@ -1,6 +1,12 @@
-"""Tests for counters, histograms, and the stats registry."""
+"""Tests for counters, gauges, histograms, and the stats registry."""
 
-from repro.util.stats import Counter, Histogram, StatsRegistry, percentile_exact
+from repro.util.stats import (
+    Counter,
+    Gauge,
+    Histogram,
+    StatsRegistry,
+    percentile_exact,
+)
 
 
 def test_counter():
@@ -56,6 +62,73 @@ def test_registry_reuse_and_snapshot():
     assert snap["lat.count"] == 1
     registry.reset()
     assert registry.counter("io.reads").value == 0
+
+
+def test_gauge():
+    gauge = Gauge("lag")
+    gauge.set(7.0)
+    gauge.add(3.0)
+    assert gauge.value == 10.0
+    gauge.add(-4.0)
+    assert gauge.value == 6.0
+    gauge.reset()
+    assert gauge.value == 0.0
+
+
+def test_registry_gauge_in_snapshot():
+    registry = StatsRegistry()
+    registry.gauge("repl.lag").set(12)
+    registry.counter("ops").add(2)
+    snap = registry.snapshot()
+    assert snap["repl.lag"] == 12
+    assert snap["ops"] == 2
+
+
+def test_histogram_summary_keys_in_snapshot():
+    registry = StatsRegistry()
+    hist = registry.histogram("lat")
+    for i in range(1, 101):
+        hist.record(i / 100.0)
+    snap = registry.snapshot()
+    # Pre-existing keys stay; the percentile/sum keys are additive.
+    assert snap["lat.count"] == 100
+    assert abs(snap["lat.sum"] - 50.5) < 1e-9
+    assert abs(snap["lat.mean"] - 0.505) < 1e-9
+    assert 0.45 < snap["lat.p50"] < 0.55
+    assert 0.90 < snap["lat.p95"] <= 1.0
+    assert 0.94 < snap["lat.p99"] <= 1.0
+    assert snap["lat.max"] == 1.0
+    assert snap["lat.p50"] <= snap["lat.p95"] <= snap["lat.p99"]
+
+
+def test_histogram_reset_in_place():
+    hist = Histogram("lat")
+    hist.record(1.0)
+    hist.reset()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.max == 0.0
+    # The same object keeps recording after a reset.
+    hist.record(2.0)
+    assert hist.count == 1
+    assert hist.max == 2.0
+
+
+def test_registry_reset_keeps_histogram_references_live():
+    """Regression: reset() used to replace histograms with fresh objects,
+    orphaning any held reference -- its records vanished from snapshots."""
+    registry = StatsRegistry()
+    held = registry.histogram("lat")
+    held.record(0.5)
+    registry.gauge("depth").set(3)
+    registry.reset()
+    assert registry.snapshot()["lat.count"] == 0
+    assert registry.snapshot()["depth"] == 0.0
+    # Recording through the pre-reset reference must still be visible.
+    held.record(0.25)
+    snap = registry.snapshot()
+    assert snap["lat.count"] == 1
+    assert registry.histogram("lat") is held
 
 
 def test_percentile_exact():
