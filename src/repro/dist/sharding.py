@@ -107,6 +107,27 @@ class ShardedDB:
         for shard in self.shards:
             shard.compact_range()
 
+    def health(self) -> dict:
+        """Worst-of across shards: one failed shard fails the whole front."""
+        if self._closed:
+            return {"state": "failed", "reason": "closed", "error": None}
+        rank = {"healthy": 0, "degraded": 1, "failed": 2}
+        worst = {"state": "healthy", "reason": "", "error": None}
+        for shard in self.shards:
+            verdict = shard.health()
+            if rank.get(verdict["state"], 2) > rank.get(worst["state"], 0):
+                worst = verdict
+        return worst
+
+    def try_recover(self) -> bool:
+        """Attempt recovery on every shard; True when all are writable."""
+        if self._closed:
+            return False
+        recovered = True
+        for shard in self.shards:
+            recovered = shard.try_recover() and recovered
+        return recovered
+
     def stats_totals(self) -> dict[str, float]:
         """Sum each counter across shards."""
         totals: dict[str, float] = {}

@@ -148,6 +148,26 @@ class MemEnv(Env):
 
     # -- crash simulation ---------------------------------------------------
 
+    def fork(self, durable_only: bool = True) -> "MemEnv":
+        """An independent copy of the filesystem as a crash would leave it.
+
+        ``durable_only=True`` keeps only synced bytes per file (the image a
+        *system* crash at this instant would leave on disk); ``False`` keeps
+        the page cache too (a *process* crash).  The crash matrix calls this
+        from a syncpoint callback and later reopens a DB on the copy --
+        killing nothing, but recovering from exactly the interrupted state.
+        """
+        forked = MemEnv()
+        with self._lock:
+            for path, mem_file in self._files.items():
+                copy = _MemFile()
+                keep = mem_file.durable_len if durable_only else len(mem_file.data)
+                copy.data = bytearray(mem_file.data[:keep])
+                copy.durable_len = min(mem_file.durable_len, keep)
+                forked._files[path] = copy
+            forked._dirs = set(self._dirs)
+        return forked
+
     def crash_process(self) -> None:
         """Simulate a process crash: OS page cache survives, so no data is
         lost at this layer (application-level buffers are lost by their

@@ -33,6 +33,21 @@ class AuthorizationError(KeyManagementError):
     """The KDS refused the request (unauthorized or revoked server)."""
 
 
+class KDSUnavailableError(KeyManagementError):
+    """The KDS could not be reached (timeout, outage, open circuit).
+
+    Retriable: the DEK exists, the *network path* to it does not right
+    now.  Distinct from :class:`AuthorizationError` (a policy decision
+    that retrying cannot change) and from :class:`NotFoundError` (the DEK
+    is gone for good)."""
+
+
+class CircuitOpenError(KDSUnavailableError):
+    """The KDS circuit breaker is open: the request failed fast, without a
+    network wait.  Not retried by the client-side retry loop (the breaker
+    already knows the KDS is down; callers should degrade instead)."""
+
+
 class ProvisioningError(KeyManagementError):
     """One-time DEK provisioning was violated (DEK already issued)."""
 
@@ -51,3 +66,10 @@ class BusyError(ServiceError):
 
 class ReplicationError(ServiceError):
     """The WAL-shipping replication stream failed or was refused."""
+
+
+class DegradedError(ServiceError):
+    """The server accepted the connection but is in degraded mode.
+
+    The write was *not* applied; the client should back off and retry --
+    the condition (typically a KDS outage) is expected to clear."""

@@ -7,15 +7,34 @@ network requests the cache absorbed; every actual KDS round-trip is also
 wall-timed (``keyclient.kds_s``), traced as a span, and charged to the
 active cost-attribution context as ``kds`` time -- the per-op KDS share of
 Fig. 16's latency decomposition.
+
+Resilience (this is the seam a KDS outage hits first):
+
+- an optional :class:`~repro.keys.resilience.RetryPolicy` retries
+  transient KDS failures with full-jitter exponential backoff under a
+  per-request deadline; the *whole* retry loop (backoff sleeps included)
+  is charged to ``kds`` so outage time shows up in the attribution;
+- an optional :class:`~repro.keys.resilience.CircuitBreaker` trips after
+  consecutive failures and fails fast while open (state and trip counts
+  exported through ``stats``);
+- **grace mode** falls out of the cache-first lookup order: during an
+  outage every cached DEK keeps serving reads, and writers holding an
+  already-provisioned ``FileCrypto`` never ask again -- only *new* DEK
+  provisioning (and cold fetches) fail, fast;
+- retires that fail transiently are queued and re-driven once the KDS
+  answers again, so an outage does not leak DEKs forever.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
+from repro.errors import CircuitOpenError, KeyManagementError, NotFoundError
 from repro.keys.cache import SecureDEKCache
 from repro.keys.dek import DEK
 from repro.keys.kds import KeyDistributionService
+from repro.keys.resilience import CircuitBreaker, RetryPolicy, is_retriable
 from repro.obs import costs
 from repro.obs.trace import TRACER
 from repro.util.stats import StatsRegistry
@@ -30,24 +49,99 @@ class KeyClient:
         server_id: str,
         cache: SecureDEKCache | None = None,
         default_scheme: str = "shake-ctr",
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         self.kds = kds
         self.server_id = server_id
         self.cache = cache
         self.default_scheme = default_scheme
+        self.retry_policy = retry_policy
+        self.breaker = breaker
         self.stats = StatsRegistry()
+        self._pending_retires: list[str] = []
+        self._retire_lock = threading.Lock()
 
-    def _charge(self, start: float) -> None:
-        elapsed = time.perf_counter() - start
-        self.stats.histogram("keyclient.kds_s").record(elapsed)
-        costs.charge("kds", elapsed)
+    @classmethod
+    def resilient(
+        cls,
+        kds: KeyDistributionService,
+        server_id: str,
+        cache: SecureDEKCache | None = None,
+        default_scheme: str = "shake-ctr",
+        **policy_kwargs,
+    ) -> "KeyClient":
+        """A KeyClient with the default retry policy and circuit breaker."""
+        return cls(
+            kds,
+            server_id,
+            cache=cache,
+            default_scheme=default_scheme,
+            retry_policy=RetryPolicy(**policy_kwargs),
+            breaker=CircuitBreaker(),
+        )
+
+    # -- health ------------------------------------------------------------
+
+    def available(self) -> bool:
+        """False while the circuit breaker has the KDS marked down."""
+        return self.breaker is None or self.breaker.available()
+
+    def _export_breaker(self) -> None:
+        if self.breaker is None:
+            return
+        self.stats.gauge("keyclient.breaker_state").set(self.breaker.state_code)
+        trips = self.stats.gauge("keyclient.breaker_trips")
+        trips.set(self.breaker.trips)
+        self.stats.gauge("keyclient.breaker_fast_failures").set(
+            self.breaker.fast_failures
+        )
+
+    # -- the guarded KDS round-trip ----------------------------------------
+
+    def _kds_call(self, fn):
+        """One logical KDS request: breaker gate, retries, cost charging.
+
+        Wall time covers the whole retry loop including backoff sleeps, so
+        ``kds`` attribution reflects what the operation actually waited.
+        """
+        start = time.perf_counter()
+        try:
+            if self.retry_policy is None:
+                return self._attempt(fn)
+            return self.retry_policy.call(self._attempt, fn)
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stats.histogram("keyclient.kds_s").record(elapsed)
+            costs.charge("kds", elapsed)
+            self._export_breaker()
+
+    def _attempt(self, fn):
+        if self.breaker is not None:
+            self.breaker.guard()
+        try:
+            result = fn()
+        except BaseException as exc:
+            if self.breaker is not None and is_retriable(exc):
+                self.breaker.record_failure()
+            if is_retriable(exc):
+                self.stats.counter("keyclient.kds_errors").add(1)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        self._drain_pending_retires()
+        return result
+
+    # -- API ---------------------------------------------------------------
 
     def new_dek(self, scheme: str | None = None) -> DEK:
         """Provision a fresh DEK (one KDS round-trip) and cache it."""
         with TRACER.span("kds.provision") as span:
-            start = time.perf_counter()
-            dek = self.kds.provision(self.server_id, scheme or self.default_scheme)
-            self._charge(start)
+            dek = self._kds_call(
+                lambda: self.kds.provision(
+                    self.server_id, scheme or self.default_scheme
+                )
+            )
             span.set_attribute("dek_id", dek.dek_id)
         self.stats.counter("keyclient.provisions").add(1)
         if self.cache is not None:
@@ -55,27 +149,81 @@ class KeyClient:
         return dek
 
     def get_dek(self, dek_id: str) -> DEK:
-        """Resolve a DEK-ID: local secure cache first, then the KDS."""
+        """Resolve a DEK-ID: local secure cache first, then the KDS.
+
+        The cache-first order is also the grace mode: a KDS outage cannot
+        touch any DEK that is already cached.
+        """
         if self.cache is not None:
             cached = self.cache.get(dek_id)
             if cached is not None:
                 self.stats.counter("keyclient.cache_hits").add(1)
+                if self.breaker is not None and not self.breaker.available():
+                    self.stats.counter("keyclient.grace_hits").add(1)
                 return cached
         with TRACER.span("kds.fetch", attributes={"dek_id": dek_id}):
-            start = time.perf_counter()
-            dek = self.kds.fetch(self.server_id, dek_id)
-            self._charge(start)
+            dek = self._kds_call(
+                lambda: self.kds.fetch(self.server_id, dek_id)
+            )
         self.stats.counter("keyclient.kds_fetches").add(1)
         if self.cache is not None:
             self.cache.put(dek)
         return dek
 
     def retire_dek(self, dek_id: str) -> None:
-        """Destroy a DEK everywhere once its file is gone (DEK rotation)."""
+        """Destroy a DEK everywhere once its file is gone (DEK rotation).
+
+        A transient failure queues the retire for replay instead of
+        leaking the DEK in the KDS forever; the local cache entry is
+        dropped either way (the file is already gone)."""
         with TRACER.span("kds.retire", attributes={"dek_id": dek_id}):
-            start = time.perf_counter()
-            self.kds.retire(dek_id)
-            self._charge(start)
-        self.stats.counter("keyclient.retired").add(1)
+            try:
+                self._kds_call(lambda: self.kds.retire(dek_id))
+            except NotFoundError:
+                self.stats.counter("keyclient.retired").add(1)
+            except KeyManagementError as exc:
+                if is_retriable(exc) or isinstance(exc, CircuitOpenError):
+                    with self._retire_lock:
+                        self._pending_retires.append(dek_id)
+                    self.stats.counter("keyclient.retires_deferred").add(1)
+                else:
+                    raise
+            else:
+                self.stats.counter("keyclient.retired").add(1)
         if self.cache is not None:
             self.cache.remove(dek_id)
+
+    # -- deferred retire replay --------------------------------------------
+
+    @property
+    def pending_retires(self) -> list[str]:
+        with self._retire_lock:
+            return list(self._pending_retires)
+
+    def drain_pending_retires(self) -> int:
+        """Replay queued retires; returns how many cleared.  Safe to call
+        any time (the server's health monitor does, after recovery)."""
+        return self._drain_pending_retires()
+
+    def _drain_pending_retires(self) -> int:
+        with self._retire_lock:
+            if not self._pending_retires:
+                return 0
+            pending, self._pending_retires = self._pending_retires, []
+        cleared = 0
+        failed: list[str] = []
+        for dek_id in pending:
+            try:
+                # Direct call: no breaker/retry recursion from inside a
+                # drain, and one failure re-queues the remainder.
+                self.kds.retire(dek_id)
+                cleared += 1
+                self.stats.counter("keyclient.retired").add(1)
+            except Exception:  # noqa: BLE001 - keep the queue, try later
+                failed.append(dek_id)
+        if failed:
+            with self._retire_lock:
+                self._pending_retires = failed + self._pending_retires
+        if cleared:
+            self.stats.counter("keyclient.retires_drained").add(cleared)
+        return cleared

@@ -79,6 +79,18 @@ class InMemoryKDS(KeyDistributionService):
         with self._lock:
             return len(self._deks)
 
+    def fork(self) -> "InMemoryKDS":
+        """An independent copy of the registry as it stands right now.
+
+        The crash-matrix driver snapshots the KDS together with the env at
+        a sync point: recovery must resolve DEKs as they were at the
+        instant of the crash, not as the continuing workload left them.
+        """
+        forked = InMemoryKDS(policy=self.policy, clock=self.clock)
+        with self._lock:
+            forked._deks = dict(self._deks)
+        return forked
+
     def knows(self, dek_id: str) -> bool:
         with self._lock:
             return dek_id in self._deks

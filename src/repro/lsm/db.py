@@ -20,6 +20,8 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.env.base import Env
 from repro.env.mem import MemEnv
 from repro.errors import (
+    AuthorizationError,
+    CorruptionError,
     InvalidArgumentError,
     IOError_,
     KeyManagementError,
@@ -46,8 +48,52 @@ from repro.lsm.write_batch import WriteBatch
 from repro.obs.trace import TRACER
 from repro.util.lru import LRUCache
 from repro.util.stats import StatsRegistry
+from repro.util.syncpoint import SYNC
 
 _MAX_IMMUTABLE_MEMTABLES = 2
+
+#: Engine health states (see :meth:`DB.health`).
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded"
+HEALTH_FAILED = "failed"
+
+
+def _is_transient_bg_error(exc: BaseException) -> bool:
+    """Whether a background error can clear once its cause heals.
+
+    I/O blips and key-management outages (a flush that could not reach the
+    KDS) are transient: the data that failed to persist is still in the
+    memtable/WAL, so retrying the job after the env or KDS heals completes
+    it.  Anything else -- corruption, authorization revocation, logic
+    errors -- is final.
+    """
+    if isinstance(exc, AuthorizationError):
+        return False
+    return isinstance(exc, (IOError_, KeyManagementError))
+
+# Crash-matrix sync points (see util/syncpoint.py): each marks a boundary
+# where a kill must leave a recoverable database.
+SP_FLUSH_BEFORE_SST = SYNC.declare(
+    "flush:before_sst_write", "memtable chosen, no SST bytes written yet"
+)
+SP_FLUSH_AFTER_SST = SYNC.declare(
+    "flush:after_sst_write", "SST durable, manifest edit not yet applied"
+)
+SP_FLUSH_AFTER_MANIFEST = SYNC.declare(
+    "flush:after_manifest_apply", "flush installed, old WAL not yet deleted"
+)
+SP_COMPACT_AFTER_OUTPUTS = SYNC.declare(
+    "compaction:after_outputs", "outputs durable, manifest edit not applied"
+)
+SP_COMPACT_AFTER_MANIFEST = SYNC.declare(
+    "compaction:after_manifest_apply", "inputs dead but not yet deleted"
+)
+SP_WAL_BEFORE_ROTATE = SYNC.declare(
+    "wal:before_rotate", "memtable full, old WAL still the active log"
+)
+SP_WAL_AFTER_ROTATE = SYNC.declare(
+    "wal:after_rotate", "fresh WAL open, flush of the old one not scheduled"
+)
 
 
 class _WriteRequest:
@@ -175,13 +221,29 @@ class DB:
         return mem
 
     def _garbage_collect_orphans(self) -> None:
-        """Remove SST files left behind by a crash mid-flush/compaction."""
+        """Remove files left behind by a crash.
+
+        Three kinds of orphans: SSTs never linked into the version (a
+        crash mid-flush/compaction), WALs older than the recorded log
+        number (a crash after the MANIFEST recorded their contents but
+        before their deletion), and MANIFESTs that CURRENT no longer
+        names (a crash between the CURRENT swap and the old manifest's
+        deletion).  All are invisible to reads; leaving them behind
+        strands their DEKs forever.
+        """
         live = {
             meta.number for __, meta in self._versions.current.all_files()
         }
         for name in self.env.list_dir(self.path):
             parsed = parse_file_name(name)
-            if parsed and parsed[0] == "sst" and parsed[1] not in live:
+            if not parsed:
+                continue
+            kind, number = parsed[0], parsed[1]
+            if kind == "sst" and number not in live:
+                self._delete_db_file(f"{self.path}/{name}")
+            elif kind == "wal" and number < self._versions.log_number:
+                self._delete_db_file(f"{self.path}/{name}")
+            elif kind == "manifest" and number != self._versions.manifest_number:
                 self._delete_db_file(f"{self.path}/{name}")
 
     # ------------------------------------------------------------------
@@ -322,6 +384,71 @@ class DB:
         if self._bg_error is not None:
             raise IOError_(f"background error: {self._bg_error!r}")
 
+    # ------------------------------------------------------------------
+    # Health state machine
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The engine's health verdict: healthy / degraded / failed.
+
+        *degraded* means writes are refused (or at risk) for a cause that
+        is expected to clear -- a transient background error, or the KDS
+        circuit breaker open while durable data stays readable through the
+        DEK cache.  *failed* means the condition is final (corruption,
+        revoked authorization, closed database).  The serving tier maps
+        degraded writes to a retriable DEGRADED response and polls
+        :meth:`try_recover` to climb back to healthy.
+        """
+        with self._mutex:
+            closed = self._closed
+            bg_error = self._bg_error
+        if closed:
+            return {"state": HEALTH_FAILED, "reason": "closed", "error": None}
+        if bg_error is not None:
+            state = (
+                HEALTH_DEGRADED
+                if _is_transient_bg_error(bg_error)
+                else HEALTH_FAILED
+            )
+            return {
+                "state": state,
+                "reason": "background-error",
+                "error": repr(bg_error),
+            }
+        key_client = getattr(self.provider, "key_client", None)
+        if key_client is not None and not key_client.available():
+            return {
+                "state": HEALTH_DEGRADED,
+                "reason": "kds-unavailable",
+                "error": None,
+            }
+        return {"state": HEALTH_HEALTHY, "reason": "", "error": None}
+
+    def try_recover(self) -> bool:
+        """Clear a *transient* background error and restart background work.
+
+        Returns True when the engine is (now) writable: the poisoned state
+        was cleared, pending flushes/compactions were rescheduled, and the
+        next write will tell whether the underlying cause really healed
+        (if not, the jobs fail again and the engine re-degrades -- no
+        flapping masked, no data dropped).  Returns False for final states.
+        """
+        with self._mutex:
+            if self._closed:
+                return False
+            exc = self._bg_error
+            if exc is None:
+                return True
+            if not _is_transient_bg_error(exc):
+                return False
+            self._bg_error = None
+            self.stats.counter("db.bg_error_recoveries").add(1)
+            if self._imm:
+                self._schedule_bg(self._flush_job)
+            self._cond.notify_all()
+        self._maybe_schedule_compaction()
+        return True
+
     def _maybe_stall_locked(self) -> None:
         """Throttle or block the writer while the engine is too far behind.
 
@@ -332,7 +459,11 @@ class DB:
         import time
 
         stalled_at = None
-        while not self._closed and (
+        # A background error ends the stall: the flush/compaction that
+        # would relieve it is dead, so waiting would hang the writer
+        # forever -- fail fast instead (the caller re-checks state after
+        # stalling) and let try_recover() restart the pipeline.
+        while not self._closed and self._bg_error is None and (
             len(self._imm) >= _MAX_IMMUTABLE_MEMTABLES
             or len(self._versions.current.levels[0])
             >= self.options.level0_stop_writes_trigger
@@ -373,10 +504,17 @@ class DB:
         self._wal_dek_id = crypto.dek_id
 
     def _switch_memtable_locked(self) -> None:
-        self._wal.close()
-        self._imm.append((self._mem, self._wal_number, self._wal_dek_id))
-        self._mem = make_memtable(self.options.memtable_impl)
+        SYNC.process(SP_WAL_BEFORE_ROTATE)
+        # Provision the new WAL *before* retiring the old one: if the DEK
+        # grant fails (KDS outage), the rotation aborts with the old WAL
+        # still writable, so small writes keep riding it (grace mode).
+        old_wal = self._wal
+        old_number, old_dek_id = self._wal_number, self._wal_dek_id
         self._open_new_wal(self._versions.new_file_number())
+        old_wal.close()
+        self._imm.append((self._mem, old_number, old_dek_id))
+        self._mem = make_memtable(self.options.memtable_impl)
+        SYNC.process(SP_WAL_AFTER_ROTATE)
         self._schedule_bg(self._flush_job)
 
     # ------------------------------------------------------------------
@@ -446,7 +584,9 @@ class DB:
             with TRACER.span(
                 "db.flush_job", attributes={"wal_number": wal_number}
             ) as span:
+                SYNC.process(SP_FLUSH_BEFORE_SST)
                 meta = self._write_sst_from_memtable(mem)
+                SYNC.process(SP_FLUSH_AFTER_SST)
                 span.set_attribute("output_bytes", meta.size)
                 span.set_attribute("entries", meta.num_entries)
             with self._mutex:
@@ -463,6 +603,7 @@ class DB:
                 self._versions.log_and_apply(edit)
                 self._imm.remove(target)
                 self._cond.notify_all()
+            SYNC.process(SP_FLUSH_AFTER_MANIFEST)
         finally:
             with self._mutex:
                 self._flushing.discard(wal_number)
@@ -527,6 +668,7 @@ class DB:
             span.set_attribute(
                 "output_bytes", sum(meta.size for meta in outputs)
             )
+            SYNC.process(SP_COMPACT_AFTER_OUTPUTS)
 
             edit = VersionEdit()
             for level, meta in job.input_files():
@@ -535,6 +677,7 @@ class DB:
                 edit.add_file(job.output_level, meta)
             with self._mutex:
                 self._versions.log_and_apply(edit)
+            SYNC.process(SP_COMPACT_AFTER_MANIFEST)
             for __, meta in job.input_files():
                 self._drop_table(meta)
 
@@ -684,7 +827,13 @@ class DB:
                     value = self._get_once(key, snapshot)
                     span.set_attribute("found", value is not None)
                     return value
-                except (IOError_, NotFoundError, KeyManagementError):
+                except (
+                    CorruptionError, IOError_, NotFoundError, KeyManagementError
+                ):
+                    # CorruptionError included: a transient device-level
+                    # flip (or injected read chaos) corrupts one read, not
+                    # the file; persistent corruption still surfaces after
+                    # the retries are exhausted.
                     span.incr("retries")
                     continue
             return self._get_once(key, snapshot)
@@ -731,7 +880,10 @@ class DB:
                     try:
                         results[key] = self._get_once(key, snapshot)
                         break
-                    except (IOError_, NotFoundError, KeyManagementError):
+                    except (
+                        CorruptionError, IOError_, NotFoundError,
+                        KeyManagementError,
+                    ):
                         continue
                 else:
                     results[key] = self._get_once(key, snapshot)
@@ -754,7 +906,9 @@ class DB:
                     results = self._scan_once(start, end, limit, snapshot)
                     span.set_attribute("results", len(results))
                     return results
-                except (IOError_, NotFoundError, KeyManagementError):
+                except (
+                    CorruptionError, IOError_, NotFoundError, KeyManagementError
+                ):
                     span.incr("retries")
                     continue
             return self._scan_once(start, end, limit, snapshot)

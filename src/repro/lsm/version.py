@@ -20,11 +20,21 @@ from repro.lsm.envelope import FILE_KIND_MANIFEST
 from repro.lsm.filecrypto import CryptoProvider
 from repro.lsm.filename import current_path, manifest_path
 from repro.lsm.wal import WALWriter, read_wal_records
+from repro.util.syncpoint import SYNC
 from repro.util.coding import (
     decode_length_prefixed,
     decode_varint64,
     encode_length_prefixed,
     encode_varint64,
+)
+
+SP_MANIFEST_BEFORE_CURRENT = SYNC.declare(
+    "manifest:before_current_swap",
+    "new MANIFEST durable, CURRENT still names the old one",
+)
+SP_MANIFEST_AFTER_CURRENT = SYNC.declare(
+    "manifest:after_current_swap",
+    "CURRENT names the new MANIFEST, old one not yet deleted",
 )
 
 _TAG_LOG_NUMBER = 1
@@ -267,6 +277,11 @@ class VersionSet:
 
     # -- counters -----------------------------------------------------------
 
+    @property
+    def manifest_number(self) -> int:
+        """File number of the live MANIFEST (0 before the first one)."""
+        return self._manifest_number
+
     def new_file_number(self) -> int:
         number = self.next_file_number
         self.next_file_number += 1
@@ -297,9 +312,11 @@ class VersionSet:
         self._manifest = writer
         self._manifest_number = number
         self._manifest_dek_id = crypto.dek_id
+        SYNC.process(SP_MANIFEST_BEFORE_CURRENT)
         self._env.write_file(
             current_path(self._dbname), f"MANIFEST-{number:06d}\n".encode()
         )
+        SYNC.process(SP_MANIFEST_AFTER_CURRENT)
         if old_manifest_number:
             old_path = manifest_path(self._dbname, old_manifest_number)
             self._env.delete_file(old_path)

@@ -5,8 +5,13 @@ The client duck-types the embedded ``DB`` read/write surface
 ``compact_range``/``close``), so every existing benchmark workload runs
 over the socket unchanged.  Transient failures are retried:
 
-- ``RESP_BUSY`` (the server's backpressure signal) and transient socket
-  errors back off exponentially up to ``max_retries``;
+- ``RESP_BUSY`` (the server's backpressure signal), ``RESP_DEGRADED``
+  (the engine is temporarily unwritable -- e.g. a KDS outage -- and
+  expected to recover) and transient socket errors back off with
+  full-jitter exponential sleeps up to ``max_retries``;
+- ``deadline_s`` caps the *total* wall time one request may spend across
+  retries and backoff sleeps -- a retry whose sleep would overshoot it is
+  not attempted;
 - a connection that errors is discarded, not returned to the pool.
 
 ``pipeline()`` batches many requests onto one connection and matches the
@@ -17,11 +22,12 @@ once per batch instead of once per operation.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
 import time
 
-from repro.errors import BusyError, ServiceError
+from repro.errors import BusyError, DegradedError, ServiceError
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.trace import TRACER
 from repro.service import protocol
@@ -89,6 +95,8 @@ class KVClient:
         max_retries: int = 6,
         backoff_base_s: float = 0.01,
         backoff_max_s: float = 0.5,
+        deadline_s: float | None = None,
+        rng: random.Random | None = None,
     ):
         self.host = host
         self.port = port
@@ -98,8 +106,11 @@ class KVClient:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
+        self.deadline_s = deadline_s
+        self._rng = rng if rng is not None else random.Random()
         self.retries = 0
         self.busy_retries = 0
+        self.degraded_retries = 0
         self._request_ids = itertools.count(1)
         self._pool: list[_PooledConnection] = []
         self._pool_lock = threading.Lock()
@@ -140,12 +151,33 @@ class KVClient:
 
     # -- request core ------------------------------------------------------
 
+    def _backoff_s(self, attempt: int) -> float:
+        """Full-jitter exponential backoff: a uniform draw from
+        ``[0, min(cap, base * 2**attempt)]``, so a burst of clients does
+        not retry in lockstep against a recovering server."""
+        ceiling = min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s)
+        return self._rng.uniform(0.0, ceiling)
+
     def _backoff(self, attempt: int) -> None:
-        time.sleep(min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s))
+        time.sleep(self._backoff_s(attempt))
+
+    def _sleep_within_deadline(self, started_at: float, attempt: int) -> bool:
+        """Sleep the jittered backoff; False when the request's deadline
+        would be overshot (the caller gives up instead of sleeping)."""
+        delay = self._backoff_s(attempt)
+        if (
+            self.deadline_s is not None
+            and time.monotonic() - started_at + delay > self.deadline_s
+        ):
+            return False
+        time.sleep(delay)
+        return True
 
     def _request(self, opcode: int, payload: bytes = b"") -> Message:
-        """Send one request, retrying on BUSY and transient socket errors."""
+        """Send one request, retrying BUSY/DEGRADED and transient socket
+        errors under the per-request deadline."""
         op_name = protocol.OPCODE_NAMES.get(opcode, str(opcode))
+        started_at = time.monotonic()
         with TRACER.span(f"client.{op_name}") as span:
             trace = TRACER.inject()
             last_error: Exception | None = None
@@ -156,7 +188,8 @@ class KVClient:
                     last_error = exc
                     self.retries += 1
                     span.incr("retries")
-                    self._backoff(attempt)
+                    if not self._sleep_within_deadline(started_at, attempt):
+                        break
                     continue
                 try:
                     response = conn.request(opcode, payload, trace)
@@ -165,20 +198,33 @@ class KVClient:
                     last_error = exc
                     self.retries += 1
                     span.incr("retries")
-                    self._backoff(attempt)
+                    if not self._sleep_within_deadline(started_at, attempt):
+                        break
                     continue
                 if response.opcode == protocol.RESP_BUSY:
                     self._release(conn)
                     last_error = BusyError("server queue full")
                     self.busy_retries += 1
                     span.incr("busy_retries")
-                    self._backoff(attempt)
+                    if not self._sleep_within_deadline(started_at, attempt):
+                        break
+                    continue
+                if response.opcode == protocol.RESP_DEGRADED:
+                    self._release(conn)
+                    health = protocol.decode_health(response.payload)
+                    last_error = DegradedError(
+                        f"server degraded ({health.get('reason') or 'unknown'})"
+                    )
+                    self.degraded_retries += 1
+                    span.incr("degraded_retries")
+                    if not self._sleep_within_deadline(started_at, attempt):
+                        break
                     continue
                 self._release(conn)
                 if response.opcode == protocol.RESP_ERROR:
                     raise protocol.decode_error(response.payload)
                 return response
-            if isinstance(last_error, BusyError):
+            if isinstance(last_error, (BusyError, DegradedError)):
                 raise last_error
             raise ServiceError(
                 f"request failed after retries: {last_error!r}"
@@ -225,6 +271,11 @@ class KVClient:
 
     def ping(self) -> None:
         self._request(protocol.OP_PING)
+
+    def health(self) -> dict:
+        """The server's health verdict (state / reason / error)."""
+        response = self._request(protocol.OP_HEALTH)
+        return protocol.decode_health(response.payload)
 
     def committed_sequence(self) -> int:
         return int(self.stats().get("committed_sequence", 0))
@@ -312,8 +363,11 @@ class Pipeline:
             results = []
             for (opcode, payload), request_id in zip(ops, id_for_index):
                 response = responses.get(request_id)
-                if response is None or response.opcode == protocol.RESP_BUSY:
-                    # Bounced by backpressure: retry through the slow path.
+                if response is None or response.opcode in (
+                    protocol.RESP_BUSY, protocol.RESP_DEGRADED
+                ):
+                    # Bounced by backpressure or degraded mode: retry
+                    # through the slow path (which backs off).
                     client.busy_retries += 1
                     span.incr("busy_retries")
                     response = client._request(opcode, payload)

@@ -60,6 +60,7 @@ OP_FLUSH = 7
 OP_COMPACT = 8
 OP_AUTH = 9
 OP_PING = 10
+OP_HEALTH = 11
 OP_REPL_SUBSCRIBE = 16
 
 # -- response opcodes --------------------------------------------------------
@@ -70,6 +71,7 @@ RESP_PAIRS = 131
 RESP_STATS = 132
 RESP_ERROR = 133
 RESP_BUSY = 134
+RESP_DEGRADED = 135
 RESP_REPL_ACCEPT = 144
 RESP_REPL_FRAME = 145
 RESP_REPL_POSITION = 146
@@ -86,6 +88,7 @@ OPCODE_NAMES = {
     OP_COMPACT: "compact",
     OP_AUTH: "auth",
     OP_PING: "ping",
+    OP_HEALTH: "health",
     OP_REPL_SUBSCRIBE: "repl_subscribe",
 }
 
@@ -293,6 +296,17 @@ def encode_stats(stats: dict) -> bytes:
 
 
 def decode_stats(payload: bytes) -> dict:
+    return json.loads(payload.decode())
+
+
+def encode_health(health: dict) -> bytes:
+    """Health verdict payload (OP_HEALTH response and RESP_DEGRADED body)."""
+    return json.dumps(health, sort_keys=True).encode()
+
+
+def decode_health(payload: bytes) -> dict:
+    if not payload:
+        return {"state": "", "reason": "", "error": None}
     return json.loads(payload.decode())
 
 

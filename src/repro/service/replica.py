@@ -31,7 +31,12 @@ import threading
 import time
 
 from repro.crypto.cipher import SCHEME_NONE, generate_nonce, spec_for
-from repro.errors import AuthorizationError, ReplicationError, ReproError
+from repro.errors import (
+    AuthorizationError,
+    KeyManagementError,
+    ReplicationError,
+    ReproError,
+)
 from repro.lsm.dbformat import TYPE_PUT
 from repro.lsm.filecrypto import FileCrypto, NULL_CRYPTO
 from repro.lsm.iterator import newest_visible
@@ -311,6 +316,7 @@ class Replica:
         self.frames_received = 0
         self.snapshots_received = 0
         self.subscriptions = 0
+        self.kds_flaps = 0  # reconnects caused by key-management outages
         self.last_resume_sequence: int | None = None
         self.last_error: BaseException | None = None
 
@@ -402,7 +408,13 @@ class Replica:
                     self.last_error = exc
                     return
                 except (OSError, ReproError) as exc:
+                    # Retriable -- including KDS flaps (KDSUnavailableError
+                    # is a KeyManagementError, not an AuthorizationError):
+                    # the loop reconnects with backoff and resumes from
+                    # ``state.last_applied``, losing no position.
                     self.last_error = exc
+                    if isinstance(exc, KeyManagementError):
+                        self.kds_flaps += 1
                 finally:
                     self._connected.clear()
                 if self._stop.is_set() or not self.auto_reconnect:

@@ -32,7 +32,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.crypto.cipher import CRYPTO_STATS
-from repro.errors import AuthorizationError, InvalidArgumentError, ServiceError
+from repro.errors import (
+    AuthorizationError,
+    InvalidArgumentError,
+    IOError_,
+    KeyManagementError,
+    ReproError,
+    ServiceError,
+)
+from repro.lsm.db import HEALTH_DEGRADED, HEALTH_HEALTHY
 from repro.obs.trace import TRACER
 from repro.service import protocol
 from repro.service.protocol import Message
@@ -54,6 +62,8 @@ class ServiceConfig:
     drain_timeout_s: float = 5.0     # graceful-shutdown drain budget
     repl_chunk_entries: int = 256    # snapshot catch-up batch size
     accept_backlog: int = 64
+    health_check_interval_s: float = 0.2  # health-monitor poll cadence
+    auto_recover: bool = True        # clear transient bg errors automatically
 
 
 class _Connection:
@@ -106,6 +116,7 @@ class KVServer:
             ReplicationSource(db) if hasattr(db, "add_commit_listener") else None
         )
         self._key_client = getattr(getattr(db, "provider", None), "key_client", None)
+        self._health_thread: threading.Thread | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -132,6 +143,10 @@ class KVServer:
             target=self._accept_loop, name="kv-accept", daemon=True
         )
         self._accept_thread.start()
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="kv-health", daemon=True
+        )
+        self._health_thread.start()
         self._started = True
         return self
 
@@ -167,6 +182,8 @@ class KVServer:
             conn.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=2.0)
         for thread in self._conn_threads:
             thread.join(timeout=2.0)
 
@@ -299,18 +316,97 @@ class KVServer:
             ))
             return
         self.stats.counter("service.replica_subscriptions").add(1)
-        stream_to_replica(
-            conn=conn,
-            request=msg,
-            db=self.db,
-            source=self._source,
-            key_client=self._key_client,
-            chunk_entries=self.config.repl_chunk_entries,
-            stopping=self._stopping,
-            stats=self.stats,
-        )
+        try:
+            stream_to_replica(
+                conn=conn,
+                request=msg,
+                db=self.db,
+                source=self._source,
+                key_client=self._key_client,
+                chunk_entries=self.config.repl_chunk_entries,
+                stopping=self._stopping,
+                stats=self.stats,
+            )
+        except ReproError as exc:
+            # Stream setup failed (typically the stream-DEK provisioning
+            # hit a KDS outage): refuse this subscription cleanly instead
+            # of killing the reader thread.  The replica backs off and
+            # resubscribes from its preserved resume position.
+            self.stats.counter("service.repl_refusals").add(1)
+            try:
+                conn.send(Message(
+                    protocol.RESP_ERROR, msg.request_id,
+                    protocol.encode_error(exc),
+                ))
+            except OSError:
+                pass
+
+    # -- health ------------------------------------------------------------
+
+    _HEALTH_CODES = {"healthy": 0, "degraded": 1, "failed": 2}
+
+    def _health_dict(self) -> dict:
+        probe = getattr(self.db, "health", None)
+        if probe is None:
+            return {"state": HEALTH_HEALTHY, "reason": "", "error": None}
+        return probe()
+
+    def _health_loop(self) -> None:
+        """Poll engine health; auto-recover from transient degradation.
+
+        ``DB.try_recover`` only clears *transient* background errors and
+        reschedules the interrupted jobs -- if the cause persists they fail
+        again and the engine re-degrades, so this loop converges instead of
+        masking a real fault.  Deferred DEK retires are drained once the
+        KDS answers again.
+        """
+        while not self._stopping.wait(self.config.health_check_interval_s):
+            health = self._health_dict()
+            self.stats.gauge("service.health").set(
+                self._HEALTH_CODES.get(health.get("state"), 2)
+            )
+            if (
+                self.config.auto_recover
+                and health.get("state") == HEALTH_DEGRADED
+                and health.get("reason") == "background-error"
+            ):
+                recover = getattr(self.db, "try_recover", None)
+                if recover is not None and recover():
+                    self.stats.counter("service.recoveries").add(1)
+            key_client = self._key_client
+            if (
+                key_client is not None
+                and getattr(key_client, "pending_retires", None)
+                and key_client.available()
+            ):
+                key_client.drain_pending_retires()
 
     # -- execute path ------------------------------------------------------
+
+    def _apply_write(self, rid: int, fn) -> Message:
+        """Run a write; map degraded-mode failures to a retriable response.
+
+        A write that fails while the engine reports *degraded* (transient
+        background error, KDS outage) answers ``RESP_DEGRADED`` with the
+        health verdict instead of a terminal error or a dropped connection
+        -- the client backs off and retries, and succeeds once the health
+        monitor has recovered the engine.  Failures outside degraded mode
+        propagate unchanged.
+        """
+        try:
+            fn()
+        except (IOError_, KeyManagementError):
+            health = self._health_dict()
+            if health.get("state") == HEALTH_DEGRADED:
+                self.stats.counter("service.degraded_rejections").add(1)
+                return Message(
+                    protocol.RESP_DEGRADED, rid, protocol.encode_health(health)
+                )
+            raise
+        return Message(
+            protocol.RESP_OK, rid,
+            protocol.encode_sequence(self._committed_sequence()),
+        )
 
     def _worker_loop(self) -> None:
         while True:
@@ -367,26 +463,15 @@ class KVServer:
             return Message(protocol.RESP_VALUE, rid, protocol.encode_value(value))
         if op == protocol.OP_PUT:
             key, value = protocol.decode_put(msg.payload)
-            self.db.put(key, value)
-            return Message(
-                protocol.RESP_OK, rid,
-                protocol.encode_sequence(self._committed_sequence()),
-            )
+            return self._apply_write(rid, lambda: self.db.put(key, value))
         if op == protocol.OP_DELETE:
-            self.db.delete(protocol.decode_key(msg.payload))
-            return Message(
-                protocol.RESP_OK, rid,
-                protocol.encode_sequence(self._committed_sequence()),
-            )
+            key = protocol.decode_key(msg.payload)
+            return self._apply_write(rid, lambda: self.db.delete(key))
         if op == protocol.OP_WRITE_BATCH:
             from repro.lsm.write_batch import WriteBatch
 
             __, batch = WriteBatch.deserialize(msg.payload)
-            self.db.write(batch)
-            return Message(
-                protocol.RESP_OK, rid,
-                protocol.encode_sequence(self._committed_sequence()),
-            )
+            return self._apply_write(rid, lambda: self.db.write(batch))
         if op == protocol.OP_SCAN:
             start, end, limit = protocol.decode_scan(msg.payload)
             pairs = self.db.scan(start, end, limit)
@@ -406,6 +491,11 @@ class KVServer:
             return Message(protocol.RESP_OK, rid)
         if op == protocol.OP_PING:
             return Message(protocol.RESP_OK, rid)
+        if op == protocol.OP_HEALTH:
+            return Message(
+                protocol.RESP_STATS, rid,
+                protocol.encode_health(self._health_dict()),
+            )
         raise InvalidArgumentError(f"unknown opcode {op}")
 
     def _stats_dict(self) -> dict:
@@ -442,6 +532,7 @@ class KVServer:
             "crypto": CRYPTO_STATS.snapshot(),
             "replication": replication,
             "committed_sequence": committed,
+            "health": self._health_dict(),
         }
         if self._key_client is not None and hasattr(self._key_client, "stats"):
             out["keyclient"] = self._key_client.stats.snapshot()

@@ -30,8 +30,18 @@ class ShieldOptions:
     encrypt_wal: bool = True
     encrypt_sst: bool = True
     encrypt_manifest: bool = True
+    #: Retry transient KDS failures and trip a circuit breaker on outages
+    #: (see repro.keys.resilience); the chaos harness turns this on.
+    resilient: bool = False
 
     def build_key_client(self) -> KeyClient:
+        if self.resilient:
+            return KeyClient.resilient(
+                self.kds,
+                self.server_id,
+                cache=self.dek_cache,
+                default_scheme=self.scheme,
+            )
         return KeyClient(
             self.kds,
             self.server_id,

@@ -11,6 +11,14 @@ from repro.lsm.envelope import (
     FILE_KIND_WAL,
 )
 from repro.lsm.filecrypto import CryptoProvider, FileCrypto, NULL_CRYPTO
+from repro.util.syncpoint import SYNC
+
+SP_DEK_BEFORE_RETIRE = SYNC.declare(
+    "dek:before_retire", "file deleted, its DEK still live in KDS and cache"
+)
+SP_DEK_AFTER_RETIRE = SYNC.declare(
+    "dek:after_retire", "DEK retired (or queued for retry), caches dropped"
+)
 
 
 class ShieldCryptoProvider(CryptoProvider):
@@ -67,8 +75,10 @@ class ShieldCryptoProvider(CryptoProvider):
     def on_file_deleted(self, dek_id: str, path: str) -> None:
         if not dek_id:
             return
+        SYNC.process(SP_DEK_BEFORE_RETIRE)
         try:
             self.key_client.retire_dek(dek_id)
         except Exception:  # noqa: BLE001 - retiring an unknown DEK is benign
             pass
         self.deks_retired += 1
+        SYNC.process(SP_DEK_AFTER_RETIRE)

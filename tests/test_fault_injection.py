@@ -117,3 +117,157 @@ def test_reads_unaffected_by_write_faults():
     assert env.file_exists("/f")
     with pytest.raises(IOError_):
         env.write_file("/g", b"nope")
+
+
+# -- read-side faults --------------------------------------------------------
+
+
+def _read_all(env, path):
+    handle = env.new_random_access_file(path)
+    try:
+        return handle.read(0, env.file_size(path))
+    finally:
+        handle.close()
+
+
+def test_transient_read_fault_self_disarms():
+    env = FaultInjectionEnv(MemEnv())
+    env.write_file("/f", b"payload")
+    env.fail_reads(times=2, after=1)
+    assert _read_all(env, "/f") == b"payload"   # 1 clean read first
+    with pytest.raises(IOError_):
+        _read_all(env, "/f")
+    with pytest.raises(IOError_):
+        _read_all(env, "/f")
+    assert _read_all(env, "/f") == b"payload"   # disarmed by itself
+    assert env.injected_read_failures == 2
+
+
+def test_read_error_rate_is_seeded():
+    def run(seed):
+        env = FaultInjectionEnv(MemEnv(), seed=seed)
+        env.write_file("/f", b"payload")
+        env.set_read_error_rate(0.5)
+        outcomes = []
+        for _ in range(32):
+            try:
+                _read_all(env, "/f")
+                outcomes.append(1)
+            except IOError_:
+                outcomes.append(0)
+        return outcomes
+
+    assert run(3) == run(3)
+    assert 0 < sum(run(3)) < 32
+
+
+def test_bit_flip_corrupts_exactly_one_bit():
+    env = FaultInjectionEnv(MemEnv(), seed=1)
+    env.write_file("/f", b"\x00" * 64)
+    env.flip_read_bits(times=1)
+    flipped = _read_all(env, "/f")
+    assert flipped != b"\x00" * 64
+    assert sum(bin(b).count("1") for b in flipped) == 1
+    assert env.injected_bit_flips == 1
+    assert _read_all(env, "/f") == b"\x00" * 64  # self-disarmed
+
+
+def test_engine_retries_transient_read_faults():
+    inner = MemEnv()
+    env = FaultInjectionEnv(inner)
+    db = DB("/f", _options(env))
+    for i in range(50):
+        db.put(b"key-%03d" % i, b"v" * 40)
+    db.flush()
+    env.fail_reads(times=2, predicate=lambda p: p.endswith(".sst"))
+    # Two injected read errors are absorbed by the read path's retry.
+    assert db.get(b"key-001") == b"v" * 40
+    assert env.injected_read_failures > 0
+    db.close()
+
+
+def test_engine_retries_transient_bit_flips():
+    inner = MemEnv()
+    env = FaultInjectionEnv(inner, seed=5)
+    db = DB("/f", _options(env))
+    for i in range(50):
+        db.put(b"key-%03d" % i, b"v" * 40)
+    db.flush()
+    env.flip_read_bits(times=1, predicate=lambda p: p.endswith(".sst"))
+    # The flipped ciphertext fails the checksum; the retry re-reads clean.
+    for i in range(50):
+        assert db.get(b"key-%03d" % i) == b"v" * 40
+    assert env.injected_bit_flips == 1
+    db.close()
+
+
+# -- sync-only and torn syncs ------------------------------------------------
+
+
+def test_sync_only_fault_lets_appends_through():
+    env = FaultInjectionEnv(MemEnv())
+    env.fail_syncs(after=1)
+    handle = env.new_writable_file("/f")
+    handle.append(b"data")
+    handle.sync()                      # first sync passes
+    handle.append(b"more")
+    with pytest.raises(IOError_):
+        handle.sync()                  # durability fails, data was buffered
+    env.heal()
+    handle.sync()
+    handle.close()
+    assert env.read_file("/f") == b"datamore"
+
+
+def test_torn_sync_loses_the_tail_at_crash():
+    inner = MemEnv()
+    env = FaultInjectionEnv(inner)
+    handle = env.new_writable_file("/f")
+    handle.append(b"head-")
+    handle.sync()                      # honest sync: durable
+    env.arm_torn_sync(drop_bytes=4)
+    handle.append(b"tail")
+    handle.sync()                      # lies: claims success
+    assert env.torn_syncs == 1
+    env.crash_system()
+    assert env.read_file("/f") == b"head-"  # the lie comes true
+
+
+def test_honest_resync_supersedes_a_recorded_tear():
+    inner = MemEnv()
+    env = FaultInjectionEnv(inner)
+    handle = env.new_writable_file("/f")
+    handle.append(b"data")
+    env.arm_torn_sync(drop_bytes=2)
+    handle.sync()                      # torn
+    env.heal()                         # disarms arming, keeps the record
+    handle.sync()                      # honest sync clears the tear
+    env.crash_system()
+    assert env.read_file("/f") == b"data"
+
+
+def test_heal_preserves_recorded_tears():
+    inner = MemEnv()
+    env = FaultInjectionEnv(inner)
+    handle = env.new_writable_file("/f")
+    handle.append(b"abcdef")
+    env.arm_torn_sync(drop_bytes=3)
+    handle.sync()
+    env.heal()                         # the sync already lied
+    env.crash_system()
+    assert env.read_file("/f") == b"abc"
+
+
+def test_close_and_delete_honor_armed_faults():
+    env = FaultInjectionEnv(MemEnv())
+    handle = env.new_writable_file("/f")
+    handle.append(b"x")
+    env.write_file("/g", b"y")
+    env.fail_paths(lambda path: True)
+    with pytest.raises(IOError_):
+        handle.close()
+    with pytest.raises(IOError_):
+        env.delete_file("/g")
+    env.heal()
+    handle.close()
+    env.delete_file("/g")

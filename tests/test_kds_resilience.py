@@ -1,0 +1,331 @@
+"""Tests for KDS outage resilience: retries, breaker, grace mode, FaultyKDS."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    AuthorizationError,
+    CircuitOpenError,
+    KDSUnavailableError,
+    NotFoundError,
+)
+from repro.keys.client import KeyClient
+from repro.keys.faulty import FaultyKDS
+from repro.keys.kds import InMemoryKDS
+from repro.keys.cache import SecureDEKCache
+from repro.keys.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    is_retriable,
+)
+from repro.util.clock import VirtualClock
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+
+def test_retry_recovers_from_transient_failures():
+    clock = VirtualClock()
+    policy = RetryPolicy(max_attempts=4, clock=clock, rng=random.Random(1))
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise KDSUnavailableError("blip")
+        return "ok"
+
+    assert policy.call(flaky) == "ok"
+    assert len(calls) == 3
+
+
+def test_retry_gives_up_after_max_attempts():
+    clock = VirtualClock()
+    policy = RetryPolicy(max_attempts=3, clock=clock, rng=random.Random(1))
+    calls = []
+
+    def always_down():
+        calls.append(1)
+        raise KDSUnavailableError("down")
+
+    with pytest.raises(KDSUnavailableError):
+        policy.call(always_down)
+    assert len(calls) == 3
+
+
+def test_retry_never_retries_policy_denials():
+    calls = []
+
+    def denied():
+        calls.append(1)
+        raise AuthorizationError("revoked")
+
+    policy = RetryPolicy(max_attempts=5, clock=VirtualClock())
+    with pytest.raises(AuthorizationError):
+        policy.call(denied)
+    assert len(calls) == 1
+
+
+def test_retry_deadline_bounds_total_wall_time():
+    clock = VirtualClock()
+    # base 10s: the first backoff alone overshoots a 1s deadline.
+    policy = RetryPolicy(
+        max_attempts=10, base_s=10.0, cap_s=10.0, deadline_s=1.0,
+        clock=clock, rng=_AlwaysMaxRandom(),
+    )
+    calls = []
+
+    def always_down():
+        calls.append(1)
+        raise KDSUnavailableError("down")
+
+    with pytest.raises(KDSUnavailableError):
+        policy.call(always_down)
+    assert len(calls) == 1  # no retry was attempted past the deadline
+    assert clock.now() == 0.0  # and it never slept
+
+
+class _AlwaysMaxRandom(random.Random):
+    def uniform(self, a, b):
+        return b
+
+
+def test_backoff_is_full_jitter_under_the_cap():
+    policy = RetryPolicy(base_s=0.01, cap_s=0.25, rng=random.Random(7))
+    for attempt in range(10):
+        ceiling = min(0.25, 0.01 * (2 ** attempt))
+        for _ in range(20):
+            delay = policy.backoff_s(attempt)
+            assert 0.0 <= delay <= ceiling
+
+
+def test_is_retriable_classification():
+    assert is_retriable(KDSUnavailableError("x"))
+    assert is_retriable(OSError("x"))
+    assert not is_retriable(AuthorizationError("x"))
+    assert not is_retriable(NotFoundError("x"))
+    # An open circuit already encodes "stop asking": retrying it is noise.
+    assert not is_retriable(CircuitOpenError("x"))
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold_and_fails_fast():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0, clock=clock)
+    assert breaker.state == CLOSED
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert not breaker.available()
+    with pytest.raises(CircuitOpenError):
+        breaker.guard()
+    assert breaker.fast_failures >= 1
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.sleep(5.0)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()  # the probe goes through
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.available()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    clock.sleep(5.0)
+    assert breaker.state == HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    # The clock has not advanced again: still fully open.
+    with pytest.raises(CircuitOpenError):
+        breaker.guard()
+
+
+def test_breaker_success_resets_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, clock=VirtualClock())
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+# -- FaultyKDS ---------------------------------------------------------------
+
+
+def test_faulty_kds_outage_and_heal():
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    dek = kds.provision("s1")
+    kds.go_down()
+    with pytest.raises(KDSUnavailableError):
+        kds.fetch("s1", dek.dek_id)
+    with pytest.raises(KDSUnavailableError):
+        kds.provision("s1")
+    with pytest.raises(KDSUnavailableError):
+        kds.retire(dek.dek_id)
+    assert kds.injected_failures == 3
+    kds.come_up()
+    assert kds.fetch("s1", dek.dek_id).key == dek.key
+
+
+def test_faulty_kds_flap_schedule_is_deterministic():
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    kds.set_flap_schedule(2, 1)  # 2 served, 1 failed, repeating
+    outcomes = []
+    for _ in range(9):
+        try:
+            kds.provision("s1")
+            outcomes.append("ok")
+        except KDSUnavailableError:
+            outcomes.append("down")
+    assert outcomes == ["ok", "ok", "down"] * 3
+
+
+def test_faulty_kds_error_rate_replays_with_the_seed():
+    def run(seed):
+        kds = FaultyKDS(InMemoryKDS(), seed=seed)
+        kds.set_error_rate(0.5)
+        outcomes = []
+        for _ in range(32):
+            try:
+                kds.provision("s1")
+                outcomes.append(1)
+            except KDSUnavailableError:
+                outcomes.append(0)
+        return outcomes
+
+    assert run(7) == run(7)
+    assert 0 < sum(run(7)) < 32
+
+
+def test_faulty_kds_delegates_inspection_to_inner():
+    inner = InMemoryKDS()
+    kds = FaultyKDS(inner, seed=0)
+    dek = kds.provision("s1")
+    assert kds.knows(dek.dek_id)
+    assert kds.live_dek_count() == 1
+    assert kds.fork().knows(dek.dek_id)
+
+
+# -- KeyClient resilience ----------------------------------------------------
+
+
+def _resilient_client(kds, cache=None):
+    return KeyClient(
+        kds,
+        "s1",
+        cache=cache,
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_s=0.0, cap_s=0.0, deadline_s=1.0,
+            clock=VirtualClock(),
+        ),
+        breaker=CircuitBreaker(failure_threshold=3, reset_after_s=30.0,
+                               clock=VirtualClock()),
+    )
+
+
+def test_resilient_constructor_wires_policy_and_breaker():
+    client = KeyClient.resilient(InMemoryKDS(), "s1")
+    assert client.retry_policy is not None
+    assert client.breaker is not None
+    assert client.available()
+
+
+def test_retries_absorb_a_transient_blip():
+    kds = FaultyKDS(InMemoryKDS(), seed=3)
+    client = _resilient_client(kds)
+    kds.set_flap_schedule(1, 1)  # every other request fails
+    for _ in range(4):
+        client.new_dek()  # each succeeds via one retry
+    assert client.breaker.state == CLOSED
+    assert client.stats.counter("keyclient.kds_errors").value > 0
+
+
+def test_breaker_opens_during_outage_and_fails_fast():
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    client = _resilient_client(kds)
+    kds.go_down()
+    with pytest.raises(KDSUnavailableError):
+        client.new_dek()  # 3 attempts -> 3 failures -> breaker opens
+    assert client.breaker.state == OPEN
+    assert not client.available()
+    requests_before = kds.requests
+    with pytest.raises(KDSUnavailableError):
+        client.new_dek()  # fails fast: the KDS is not even contacted
+    assert kds.requests == requests_before
+    assert client.stats.gauge("keyclient.breaker_state").value == 1
+
+
+def test_grace_mode_serves_cached_deks_during_outage(tmp_path):
+    cache = SecureDEKCache(str(tmp_path / "cache.db"), "pw", iterations=10)
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    client = _resilient_client(kds, cache=cache)
+    dek = client.new_dek()
+
+    kds.go_down()
+    with pytest.raises(KDSUnavailableError):
+        client.new_dek()  # trips the breaker
+    assert not client.available()
+    # The cached DEK keeps serving: reads of existing files never notice.
+    assert client.get_dek(dek.dek_id).key == dek.key
+    assert client.stats.counter("keyclient.grace_hits").value >= 1
+    # A cold DEK-ID is a miss and fails fast.
+    with pytest.raises(KDSUnavailableError):
+        client.get_dek("dek-cold")
+
+
+def test_retires_defer_during_outage_and_drain_after(tmp_path):
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    client = _resilient_client(kds)
+    deks = [client.new_dek() for _ in range(3)]
+
+    kds.go_down()
+    for dek in deks:
+        client.retire_dek(dek.dek_id)  # transient failure -> deferred
+    assert sorted(client.pending_retires) == sorted(d.dek_id for d in deks)
+    assert all(kds.knows(d.dek_id) for d in deks)  # still live: leaked for now
+
+    kds.come_up()
+    assert client.drain_pending_retires() == 3
+    assert client.pending_retires == []
+    assert not any(kds.knows(d.dek_id) for d in deks)
+    assert client.stats.counter("keyclient.retires_drained").value == 3
+
+
+def test_successful_request_auto_drains_deferred_retires():
+    kds = FaultyKDS(InMemoryKDS(), seed=0)
+    client = _resilient_client(kds)
+    dek = client.new_dek()
+    kds.go_down()
+    client.retire_dek(dek.dek_id)
+    assert client.pending_retires == [dek.dek_id]
+    kds.come_up()
+    # Breaker is open; wait it out via its (virtual) clock.
+    client.breaker._clock.sleep(30.0)
+    client.new_dek()  # the next successful round-trip drains the queue
+    assert client.pending_retires == []
+    assert not kds.knows(dek.dek_id)
+
+
+def test_retire_of_unknown_dek_is_not_an_error():
+    client = _resilient_client(FaultyKDS(InMemoryKDS(), seed=0))
+    client.retire_dek("dek-never-existed")  # InMemoryKDS pops silently
+    assert client.pending_retires == []

@@ -1,0 +1,104 @@
+"""Tests for the named sync-point registry (the crash-matrix substrate)."""
+
+import pytest
+
+from repro.util.syncpoint import SYNC, SyncPoints
+
+# Importing the instrumented layers registers their points.
+import repro.lsm.db  # noqa: F401
+import repro.lsm.version  # noqa: F401
+import repro.shield.provider  # noqa: F401
+
+
+def test_declare_is_idempotent_and_enumerable():
+    points = SyncPoints()
+    name = points.declare("a:first", "the first point")
+    assert name == "a:first"
+    points.declare("a:first", "a different description is ignored")
+    points.declare("b:second", "the second point")
+    assert points.declared() == ["a:first", "b:second"]
+    assert points.describe("a:first") == "the first point"
+    assert points.describe("missing") == ""
+
+
+def test_disabled_process_is_a_no_op():
+    points = SyncPoints()
+    points.declare("p")
+    fired = []
+    points.set_callback("p", lambda: fired.append(1))
+    points.process("p")  # never enabled
+    assert fired == []
+    assert points.hits("p") == 0
+
+
+def test_enabled_process_counts_and_runs_callback_inline():
+    points = SyncPoints()
+    points.declare("p")
+    fired = []
+    points.set_callback("p", lambda: fired.append(1))
+    points.enable()
+    points.process("p")
+    points.process("p")
+    assert fired == [1, 1]
+    assert points.hits("p") == 2
+    # Points without a callback still count.
+    points.process("other")
+    assert points.hits("other") == 1
+
+
+def test_callback_exception_propagates_to_the_instrumented_code():
+    points = SyncPoints()
+    points.enable()
+
+    def boom():
+        raise RuntimeError("die here")
+
+    points.set_callback("p", boom)
+    with pytest.raises(RuntimeError, match="die here"):
+        points.process("p")
+    # The hit was still recorded before the kill.
+    assert points.hits("p") == 1
+
+
+def test_clear_removes_callbacks_zeroes_hits_and_disables():
+    points = SyncPoints()
+    points.enable()
+    points.set_callback("p", lambda: None)
+    points.process("p")
+    points.clear()
+    assert not points.enabled
+    assert points.hits("p") == 0
+    points.process("p")  # disabled again: no counting
+    assert points.hits("p") == 0
+
+
+def test_clear_callback_keeps_point_declared():
+    points = SyncPoints()
+    points.declare("p", "desc")
+    points.set_callback("p", lambda: None)
+    points.clear_callback("p")
+    points.enable()
+    points.process("p")  # no callback left: just counts
+    assert points.hits("p") == 1
+    assert "p" in points.declared()
+
+
+def test_engine_declares_the_crash_matrix_points():
+    """The crash matrix enumerates SYNC.declared(); every load-bearing
+    transition must be registered there."""
+    declared = set(SYNC.declared())
+    assert {
+        "flush:before_sst_write",
+        "flush:after_sst_write",
+        "flush:after_manifest_apply",
+        "compaction:after_outputs",
+        "compaction:after_manifest_apply",
+        "manifest:before_current_swap",
+        "manifest:after_current_swap",
+        "wal:before_rotate",
+        "wal:after_rotate",
+        "dek:before_retire",
+        "dek:after_retire",
+    } <= declared
+    for name in declared:
+        assert SYNC.describe(name), f"{name} has no description"
