@@ -13,18 +13,135 @@ substrate:
 
 from __future__ import annotations
 
+import bisect
 import hashlib
+import heapq
+import itertools
 
-from repro.errors import IOError_
+from repro.errors import IOError_, InvalidArgumentError
 from repro.lsm.db import DB
 from repro.lsm.options import ReadOptions, WriteOptions
 from repro.lsm.write_batch import WriteBatch
 
 
 def shard_for_key(key: bytes, num_shards: int) -> int:
-    """Stable hash routing (blake2, independent of PYTHONHASHSEED)."""
+    """Stable hash routing (blake2, independent of PYTHONHASHSEED).
+
+    This is a wire contract, not an implementation detail: the shard-aware
+    client routes with the same function the server uses, so both sides
+    must agree for every key on every interpreter (see the cross-process
+    determinism test in tests/test_sharding.py).
+    """
     digest = hashlib.blake2b(key, digest_size=8).digest()
     return int.from_bytes(digest, "big") % num_shards
+
+
+def merge_numeric(dicts) -> dict:
+    """Union of keys across stat snapshots; numeric values are summed,
+    the first occurrence wins for anything else."""
+    out: dict = {}
+    for snapshot in dicts:
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                out.setdefault(key, value)
+            elif isinstance(out.get(key), (int, float)):
+                out[key] = out[key] + value
+            else:
+                out[key] = value
+    return out
+
+
+_HEALTH_RANK = {"healthy": 0, "degraded": 1, "failed": 2}
+
+
+def merge_health(verdicts) -> dict:
+    """Worst-of across shards: one failed shard fails the whole front."""
+    worst = {"state": "healthy", "reason": "", "error": None}
+    for verdict in verdicts:
+        if not verdict:
+            continue
+        if (
+            _HEALTH_RANK.get(verdict.get("state"), 2)
+            > _HEALTH_RANK.get(worst.get("state"), 0)
+        ):
+            worst = verdict
+    return worst
+
+
+def merge_scan_results(per_shard, limit: int | None):
+    """k-way ordered merge of per-shard sorted scans; limit applied once.
+
+    Shards hold disjoint key sets, so the merge never needs tie-breaking,
+    and the global top-``limit`` is a subset of the union of per-shard
+    top-``limit`` results (limit pushdown is safe).
+    """
+    merged = heapq.merge(*per_shard)
+    if limit is not None:
+        return list(itertools.islice(merged, limit))
+    return list(merged)
+
+
+def _ring_point(data: bytes) -> int:
+    """A position on the 64-bit hash ring (same blake2 family as
+    :func:`shard_for_key`, so ring placement is seed-independent too)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas.
+
+    ``shard_for_key``'s modulo routing reshuffles ~every key when the
+    shard count changes; a ring moves only ~1/N of the keyspace to a new
+    node, so the shard map can grow without a full data migration.  Each
+    node owns ``replicas`` pseudo-random points on a 64-bit ring; a key
+    routes to the first node point clockwise from the key's own point.
+    """
+
+    def __init__(self, nodes=(), replicas: int = 64):
+        if replicas <= 0:
+            raise InvalidArgumentError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []     # sorted ring positions
+        self._owners: list[str] = []     # owner node, parallel to _points
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise InvalidArgumentError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _ring_point(f"{node}#{replica}".encode())
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise InvalidArgumentError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, __ in keep]
+        self._owners = [owner for __, owner in keep]
+
+    def node_for_key(self, key: bytes) -> str:
+        if not self._points:
+            raise InvalidArgumentError("hash ring has no nodes")
+        index = bisect.bisect(self._points, _ring_point(key))
+        if index == len(self._points):
+            index = 0  # wrap around the top of the ring
+        return self._owners[index]
 
 
 class ShardedDB:
@@ -90,14 +207,19 @@ class ShardedDB:
         end: bytes | None = None,
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
-        """Merged cross-shard range scan."""
-        merged: list[tuple[bytes, bytes]] = []
-        for shard in self.shards:
-            merged.extend(shard.scan(start, end))
-        merged.sort()
-        if limit is not None:
-            merged = merged[:limit]
-        return merged
+        """Globally ordered cross-shard range scan.
+
+        Each shard scan is already sorted, so a k-way ``heapq.merge`` is
+        enough; shards hold disjoint key sets, so no tie-breaking.  The
+        limit is pushed down (the global top-``limit`` is a subset of the
+        union of per-shard top-``limit`` results) and applied once more
+        after the merge.
+        """
+        if self._closed:
+            raise IOError_("sharded database is closed")
+        return merge_scan_results(
+            [shard.scan(start, end, limit) for shard in self.shards], limit
+        )
 
     def flush(self) -> None:
         for shard in self.shards:
@@ -111,13 +233,7 @@ class ShardedDB:
         """Worst-of across shards: one failed shard fails the whole front."""
         if self._closed:
             return {"state": "failed", "reason": "closed", "error": None}
-        rank = {"healthy": 0, "degraded": 1, "failed": 2}
-        worst = {"state": "healthy", "reason": "", "error": None}
-        for shard in self.shards:
-            verdict = shard.health()
-            if rank.get(verdict["state"], 2) > rank.get(worst["state"], 0):
-                worst = verdict
-        return worst
+        return merge_health(shard.health() for shard in self.shards)
 
     def try_recover(self) -> bool:
         """Attempt recovery on every shard; True when all are writable."""

@@ -42,8 +42,15 @@ class _LocalRandomAccessFile(RandomAccessFile):
         self._size = os.fstat(self._handle.fileno()).st_size
 
     def read(self, offset: int, length: int) -> bytes:
-        self._handle.seek(offset)
-        return self._handle.read(length)
+        # One handle is shared by every thread reading this file; a
+        # seek()+read() pair here is a data race (another reader's seek
+        # lands between them and both read from the wrong offset, which
+        # surfaces as block-checksum corruption under concurrent load).
+        # pread is a single atomic positioned read and needs no lock.
+        try:
+            return os.pread(self._handle.fileno(), length, offset)
+        except OSError as exc:
+            raise IOError_(str(exc)) from exc
 
     def size(self) -> int:
         return self._size

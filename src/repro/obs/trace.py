@@ -37,6 +37,12 @@ import threading
 import time
 from collections import deque
 
+#: Unix-epoch anchor captured once at import.  Span timestamps are
+#: ``_EPOCH_ANCHOR + time.monotonic()``: epoch-shaped for offline tools,
+#: but a wall-clock step (NTP, manual adjustment) mid-process cannot make
+#: later spans appear to start before earlier ones.
+_EPOCH_ANCHOR = time.time() - time.monotonic()
+
 
 class SpanContext:
     """The portable identity of a span: what crosses thread/wire seams."""
@@ -102,7 +108,7 @@ class Span:
         self.duration_s = 0.0
         self._ended = False
         if sampled:
-            self.start_unix = time.time()
+            self.start_unix = _EPOCH_ANCHOR + time.monotonic()
             self._t0 = time.perf_counter()
         else:  # never emitted: skip both clock reads
             self.start_unix = 0.0

@@ -21,21 +21,29 @@ read-only compute instances over shared state):
   replicas resolve through their *own* KeyClient, so an unauthorized
   replica never sees plaintext) to read replicas that serve from
   ReadOnlyInstance-style state and resume from their last applied
-  sequence after a reconnect.
+  sequence after a reconnect;
+- :mod:`repro.service.workers` -- the shared-nothing, shard-per-core
+  server: a selectors event-loop front-end routing framed requests to N
+  forked worker processes, each owning one shard (its own WAL, block
+  cache, DEK cache, and KeyClient), with per-worker BUSY backpressure,
+  crash detection + respawn, and scatter-gathered cross-shard operations.
 """
 
-from repro.service.client import KVClient, Pipeline
+from repro.service.client import KVClient, Pipeline, ShardedKVClient
 from repro.service.protocol import Message, ProtocolError
 from repro.service.replica import Replica, ReplicaState
 from repro.service.server import KVServer, ServiceConfig
+from repro.service.workers import MultiProcessKVServer
 
 __all__ = [
     "KVClient",
     "KVServer",
     "Message",
+    "MultiProcessKVServer",
     "Pipeline",
     "ProtocolError",
     "Replica",
     "ReplicaState",
     "ServiceConfig",
+    "ShardedKVClient",
 ]

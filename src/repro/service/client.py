@@ -27,6 +27,13 @@ import socket
 import threading
 import time
 
+from repro.dist.sharding import (
+    HashRing,
+    merge_health,
+    merge_numeric,
+    merge_scan_results,
+    shard_for_key,
+)
 from repro.errors import BusyError, DegradedError, ServiceError
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.trace import TRACER
@@ -385,3 +392,178 @@ class Pipeline:
         if opcode == protocol.OP_SCAN:
             return protocol.decode_pairs(response.payload)
         return None
+
+
+class ShardedKVClient:
+    """Client-side shard routing across several KVServer endpoints.
+
+    Two routing modes, chosen by the shape of ``endpoints``:
+
+    - a **list** of ``(host, port)`` pairs, one per shard in shard order:
+      single-key operations route by :func:`shard_for_key` -- the exact
+      function the servers use, so client and server can never disagree
+      (the function is PYTHONHASHSEED-independent by contract);
+    - a **dict** of ``{node_name: (host, port)}``: routing goes through a
+      consistent-hash :class:`HashRing` (pass ``ring`` to reuse one, or a
+      ring is built from the node names), so adding an endpoint later
+      moves only ~1/N of the keyspace instead of reshuffling every key.
+
+    Cross-shard operations scatter to every endpoint and gather:
+    ``scan`` k-way merges the per-shard sorted results and applies the
+    limit once; ``stats`` sums numeric gauges and takes worst-of health;
+    ``flush``/``compact_range`` fan out; ``write`` splits the batch per
+    shard (atomicity holds per shard, as with ``ShardedDB``).
+
+    Every per-endpoint client keeps ``KVClient``'s retry semantics, so a
+    BUSY or DEGRADED shard backs off independently of the others.
+    """
+
+    def __init__(
+        self,
+        endpoints,
+        ring: HashRing | None = None,
+        **client_kwargs,
+    ):
+        if isinstance(endpoints, dict):
+            if not endpoints:
+                raise ServiceError("at least one endpoint is required")
+            self._names = sorted(endpoints)
+            self._ring = ring if ring is not None else HashRing(self._names)
+            missing = self._ring.nodes - set(self._names)
+            if missing:
+                raise ServiceError(
+                    f"ring nodes without an endpoint: {sorted(missing)}"
+                )
+            self._clients = {
+                name: KVClient(host, port, **client_kwargs)
+                for name, (host, port) in endpoints.items()
+            }
+        else:
+            endpoints = list(endpoints)
+            if not endpoints:
+                raise ServiceError("at least one endpoint is required")
+            if ring is not None:
+                raise ServiceError(
+                    "a HashRing needs named endpoints (pass a dict)"
+                )
+            self._names = [str(index) for index in range(len(endpoints))]
+            self._ring = None
+            self._clients = {
+                name: KVClient(host, port, **client_kwargs)
+                for name, (host, port) in zip(self._names, endpoints)
+            }
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._clients)
+
+    def client_for_key(self, key: bytes) -> KVClient:
+        """The endpoint client a key routes to (exposed for tests)."""
+        return self._clients[self._route(key)]
+
+    def _route(self, key: bytes) -> str:
+        if self._ring is not None:
+            return self._ring.node_for_key(key)
+        return str(shard_for_key(key, len(self._names)))
+
+    def _all(self) -> list[KVClient]:
+        return [self._clients[name] for name in self._names]
+
+    # -- DB-shaped surface -------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, opts=None) -> None:
+        self.client_for_key(key).put(key, value)
+
+    def get(self, key: bytes, opts=None) -> bytes | None:
+        return self.client_for_key(key).get(key)
+
+    def delete(self, key: bytes, opts=None) -> None:
+        self.client_for_key(key).delete(key)
+
+    def write(self, batch: WriteBatch, opts=None) -> None:
+        per_shard: dict[str, WriteBatch] = {}
+        for vtype, key, value in batch.items():
+            sub = per_shard.setdefault(self._route(key), WriteBatch())
+            if vtype:
+                sub.put(key, value)
+            else:
+                sub.delete(key)
+        for name, sub in per_shard.items():
+            self._clients[name].write(sub)
+
+    def scan(
+        self,
+        start: bytes = b"",
+        end: bytes | None = None,
+        limit: int | None = None,
+        opts=None,
+    ) -> list[tuple[bytes, bytes]]:
+        return merge_scan_results(
+            [client.scan(start, end, limit) for client in self._all()], limit
+        )
+
+    def stats(self) -> dict:
+        """Cross-endpoint merge with the same section layout as one
+        server's OP_STATS (summed gauges, worst-of health), plus an
+        ``endpoints`` section keyed by node name."""
+        per_endpoint = {
+            name: self._clients[name].stats() for name in self._names
+        }
+        snapshots = list(per_endpoint.values())
+        merged = {
+            "server": merge_numeric(
+                [s.get("server", {}) for s in snapshots]
+            ),
+            "engine": merge_numeric(
+                [s.get("engine", {}) for s in snapshots]
+            ),
+            "crypto": merge_numeric(
+                [s.get("crypto", {}) for s in snapshots]
+            ),
+            "replication": {},
+            "committed_sequence": sum(
+                s.get("committed_sequence", 0) for s in snapshots
+            ),
+            "health": merge_health([s.get("health", {}) for s in snapshots]),
+            "endpoints": {
+                name: {
+                    "health": snapshot.get("health", {}),
+                    "committed_sequence": snapshot.get(
+                        "committed_sequence", 0
+                    ),
+                }
+                for name, snapshot in per_endpoint.items()
+            },
+        }
+        keyclients = [s["keyclient"] for s in snapshots if "keyclient" in s]
+        if keyclients:
+            merged["keyclient"] = merge_numeric(keyclients)
+        return merged
+
+    def flush(self) -> None:
+        for client in self._all():
+            client.flush()
+
+    def compact_range(self) -> None:
+        for client in self._all():
+            client.compact_range()
+
+    def ping(self) -> None:
+        for client in self._all():
+            client.ping()
+
+    def health(self) -> dict:
+        return merge_health([client.health() for client in self._all()])
+
+    def committed_sequence(self) -> int:
+        return sum(client.committed_sequence() for client in self._all())
+
+    def close(self) -> None:
+        for client in self._all():
+            client.close()
+
+    def __enter__(self) -> "ShardedKVClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

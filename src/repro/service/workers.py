@@ -1,0 +1,1095 @@
+"""Shard-per-core serving: a multi-process KVServer.
+
+The threaded :class:`~repro.service.server.KVServer` executes every byte
+of framing, crypto, and LSM work under one GIL.  This module splits the
+serving tier along the seams SHIELD's per-file DEK model already provides
+(each LSM component encrypts independently, so each shard is
+self-contained):
+
+- N **worker processes**, each owning exactly one shard -- its own engine,
+  WAL, block cache, DEK cache, and KeyClient.  A worker speaks the normal
+  wire protocol over an inherited ``socketpair``; it is single-threaded on
+  the request path (shared-nothing, shard-per-core), with a small health
+  thread mirroring the threaded server's auto-recovery loop.
+- one **event-loop front-end** (``selectors``) that accepts TCP
+  connections, parses frames, routes single-key operations by
+  :func:`~repro.dist.sharding.shard_for_key`, scatter-gathers the
+  cross-shard operations (SCAN, STATS, FLUSH, COMPACT, HEALTH), splits
+  WRITE_BATCH per shard, and never touches an engine itself.
+
+Backpressure is per worker queue: when a worker has
+``config.max_queue_depth`` requests in flight, new requests routed to it
+answer ``RESP_BUSY`` immediately (the client backs off and retries).  A
+worker that dies mid-request is detected by EOF on its pipe; every
+request it still owed is answered with the *retriable* ``RESP_BUSY`` --
+never a terminal error -- and the worker is respawned on the same shard
+path, so a crash costs the client one backoff, not an error.
+
+``OP_STATS`` merges the per-worker snapshots the way ``ShardedDB`` does:
+numeric gauges/counters are summed, health is worst-of, and the section
+layout (``server`` / ``engine`` / ``crypto`` / ``keyclient`` /
+``replication``) matches the threaded server so ``repro-stats`` and the
+chaos harness keep working unchanged.
+
+Replication subscriptions are refused here: WAL shipping needs the
+engine's commit hook, which lives in the worker processes.  Point
+replicas at per-shard servers instead (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.crypto.cipher import CRYPTO_STATS
+from repro.dist.sharding import (
+    merge_health,
+    merge_numeric,
+    merge_scan_results,
+    shard_for_key,
+)
+from repro.errors import (
+    AuthorizationError,
+    InvalidArgumentError,
+    IOError_,
+    KeyManagementError,
+    ServiceError,
+)
+from repro.lsm.db import HEALTH_DEGRADED, HEALTH_HEALTHY
+from repro.obs.trace import TRACER
+from repro.service import protocol
+from repro.service.protocol import Message
+from repro.service.server import ServiceConfig
+from repro.util.checksum import masked_crc32
+from repro.util.coding import (
+    decode_fixed32,
+    decode_length_prefixed,
+    decode_varint64,
+)
+from repro.util.stats import StatsRegistry
+
+#: Opcodes the front-end fans out to every worker (or every involved one).
+_GATHER_OPS = frozenset({
+    protocol.OP_SCAN, protocol.OP_STATS, protocol.OP_FLUSH,
+    protocol.OP_COMPACT, protocol.OP_HEALTH, protocol.OP_WRITE_BATCH,
+})
+
+
+# ---------------------------------------------------------------------------
+# Frame reassembly for non-blocking sockets
+# ---------------------------------------------------------------------------
+
+
+class FrameBuffer:
+    """Incremental frame parser: feed raw bytes, pop complete messages."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def messages(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            if len(self._buf) < 4:
+                return
+            length, __ = decode_fixed32(self._buf, 0)
+            if length < 4 or length > protocol.MAX_FRAME_SIZE:
+                raise protocol.ProtocolError(
+                    f"implausible frame length {length}"
+                )
+            if len(self._buf) < 4 + length:
+                return
+            body = bytes(self._buf[4:4 + length])
+            del self._buf[:4 + length]
+            yield protocol.decode_frame_body(body)
+
+
+class RawFrame:
+    """One complete frame kept as raw bytes, header parsed lazily.
+
+    The front-end forwards most frames verbatim (see the pass-through
+    notes on :class:`MultiProcessKVServer`), so it only ever needs the
+    opcode, the request id, and -- for routed ops -- the key prefix of
+    the payload.  Parsing just that header costs a fraction of a full
+    ``decode_frame_body`` + ``encode_frame`` round trip per hop.
+    """
+
+    __slots__ = ("raw", "opcode", "request_id", "_payload_off")
+
+    def __init__(self, raw: bytes):
+        self.raw = raw
+        opcode = raw[8]
+        request_id, pos = decode_varint64(raw, 9)
+        if opcode & protocol.TRACE_FLAG:
+            opcode &= ~protocol.TRACE_FLAG
+            __, pos = decode_length_prefixed(raw, pos)
+        self.opcode = opcode
+        self.request_id = request_id
+        self._payload_off = pos
+
+    def verify(self) -> None:
+        """Check the frame CRC (done once, at the trust boundary)."""
+        crc, __ = decode_fixed32(self.raw, 4)
+        if masked_crc32(memoryview(self.raw)[8:]) != crc:
+            raise protocol.ProtocolError("frame checksum mismatch")
+
+    def payload(self) -> bytes:
+        return self.raw[self._payload_off:]
+
+    def message(self) -> Message:
+        """Full decode, for the few frames the front-end must interpret."""
+        return protocol.decode_frame_body(self.raw[4:])
+
+
+class RawFrameBuffer:
+    """Incremental splitter yielding :class:`RawFrame`s (no CRC check)."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def frames(self):
+        while True:
+            if len(self._buf) < 4:
+                return
+            length, __ = decode_fixed32(self._buf, 0)
+            if length < 4 or length > protocol.MAX_FRAME_SIZE:
+                raise protocol.ProtocolError(
+                    f"implausible frame length {length}"
+                )
+            if len(self._buf) < 4 + length:
+                return
+            raw = bytes(self._buf[:4 + length])
+            del self._buf[:4 + length]
+            try:
+                yield RawFrame(raw)
+            except (IndexError, ValueError) as exc:
+                raise protocol.ProtocolError(f"truncated frame header: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Worker process side
+# ---------------------------------------------------------------------------
+
+
+def _reset_fork_locks() -> None:
+    """Re-arm locks a forked child may have inherited in a held state.
+
+    Only the forking thread survives into the child; any lock another
+    thread held at fork time stays locked forever.  The worker only ever
+    touches the global tracer's sinks, so re-creating those locks is
+    enough.
+    """
+    for sink in getattr(TRACER, "_sinks", []):
+        if hasattr(sink, "_lock"):
+            sink._lock = threading.Lock()
+
+
+def _shard_stats_dict(db) -> dict:
+    """One worker's contribution to the merged OP_STATS snapshot."""
+    if hasattr(db, "stats_snapshot"):
+        engine = db.stats_snapshot()
+    elif getattr(db, "stats", None) is not None:
+        engine = db.stats.snapshot()
+    else:
+        engine = {}
+    health_probe = getattr(db, "health", None)
+    committed = getattr(db, "committed_sequence", None)
+    out = {
+        "engine": engine,
+        "crypto": CRYPTO_STATS.snapshot(),
+        "health": (
+            health_probe()
+            if health_probe is not None
+            else {"state": HEALTH_HEALTHY, "reason": "", "error": None}
+        ),
+        "committed_sequence": committed() if committed is not None else 0,
+    }
+    key_client = getattr(getattr(db, "provider", None), "key_client", None)
+    if key_client is None:
+        key_client = getattr(
+            getattr(getattr(db, "options", None), "crypto_provider", None),
+            "key_client", None,
+        )
+    if key_client is not None and hasattr(key_client, "stats"):
+        out["keyclient"] = key_client.stats.snapshot()
+    return out
+
+
+def _apply_shard_write(db, rid: int, fn) -> Message:
+    """Run a write; map degraded-mode failures to the retriable response
+    (same contract as the threaded server's ``_apply_write``)."""
+    try:
+        fn()
+    except (IOError_, KeyManagementError):
+        health_probe = getattr(db, "health", None)
+        health = health_probe() if health_probe is not None else {}
+        if health.get("state") == HEALTH_DEGRADED:
+            return Message(
+                protocol.RESP_DEGRADED, rid, protocol.encode_health(health)
+            )
+        raise
+    committed = getattr(db, "committed_sequence", None)
+    return Message(
+        protocol.RESP_OK, rid,
+        protocol.encode_sequence(committed() if committed is not None else 0),
+    )
+
+
+def _execute_on_shard(db, msg: Message) -> Message:
+    """Execute one request against this worker's shard engine."""
+    op = msg.opcode
+    rid = msg.request_id
+    if op == protocol.OP_GET:
+        value = db.get(protocol.decode_key(msg.payload))
+        if value is None:
+            return Message(protocol.RESP_NOT_FOUND, rid)
+        return Message(protocol.RESP_VALUE, rid, protocol.encode_value(value))
+    if op == protocol.OP_PUT:
+        key, value = protocol.decode_put(msg.payload)
+        return _apply_shard_write(db, rid, lambda: db.put(key, value))
+    if op == protocol.OP_DELETE:
+        key = protocol.decode_key(msg.payload)
+        return _apply_shard_write(db, rid, lambda: db.delete(key))
+    if op == protocol.OP_WRITE_BATCH:
+        from repro.lsm.write_batch import WriteBatch
+
+        __, batch = WriteBatch.deserialize(msg.payload)
+        return _apply_shard_write(db, rid, lambda: db.write(batch))
+    if op == protocol.OP_SCAN:
+        start, end, limit = protocol.decode_scan(msg.payload)
+        pairs = db.scan(start, end, limit)
+        return Message(protocol.RESP_PAIRS, rid, protocol.encode_pairs(pairs))
+    if op == protocol.OP_STATS:
+        return Message(
+            protocol.RESP_STATS, rid, protocol.encode_stats(_shard_stats_dict(db))
+        )
+    if op == protocol.OP_FLUSH:
+        db.flush()
+        return Message(protocol.RESP_OK, rid)
+    if op == protocol.OP_COMPACT:
+        compact = getattr(db, "compact_range", None) or getattr(
+            db, "compact_all"
+        )
+        compact()
+        return Message(protocol.RESP_OK, rid)
+    if op == protocol.OP_HEALTH:
+        health_probe = getattr(db, "health", None)
+        health = (
+            health_probe()
+            if health_probe is not None
+            else {"state": HEALTH_HEALTHY, "reason": "", "error": None}
+        )
+        return Message(
+            protocol.RESP_STATS, rid, protocol.encode_health(health)
+        )
+    if op == protocol.OP_PING:
+        return Message(protocol.RESP_OK, rid)
+    raise InvalidArgumentError(f"unknown worker opcode {op}")
+
+
+def _shard_health_loop(db, stop: threading.Event, interval_s: float) -> None:
+    """The worker's copy of the threaded server's auto-recovery loop."""
+    while not stop.wait(interval_s):
+        try:
+            probe = getattr(db, "health", None)
+            if probe is None:
+                continue
+            health = probe()
+            if (
+                health.get("state") == HEALTH_DEGRADED
+                and health.get("reason") == "background-error"
+            ):
+                recover = getattr(db, "try_recover", None)
+                if recover is not None:
+                    recover()
+            key_client = getattr(
+                getattr(db, "provider", None), "key_client", None
+            )
+            if (
+                key_client is not None
+                and getattr(key_client, "pending_retires", None)
+                and key_client.available()
+            ):
+                key_client.drain_pending_retires()
+        except Exception:  # noqa: BLE001 - the health loop must never die
+            pass
+
+
+def _serve_shard(db, sock: socket.socket, config: ServiceConfig) -> None:
+    """The worker's request loop: read frame, execute, reply.  Exits on
+    EOF (the front-end closed the pipe: graceful shutdown)."""
+    stop = threading.Event()
+    health_thread = None
+    if config.auto_recover:
+        health_thread = threading.Thread(
+            target=_shard_health_loop,
+            args=(db, stop, config.health_check_interval_s),
+            name="shard-health", daemon=True,
+        )
+        health_thread.start()
+    try:
+        while True:
+            try:
+                msg = protocol.read_message(sock)
+            except (protocol.ProtocolError, OSError):
+                return
+            if msg is None:
+                return
+            op_name = protocol.OPCODE_NAMES.get(msg.opcode, f"op{msg.opcode}")
+            with TRACER.span(
+                f"worker.{op_name}", parent=TRACER.extract(msg.trace)
+            ):
+                try:
+                    reply = _execute_on_shard(db, msg)
+                except Exception as exc:  # noqa: BLE001 - goes on the wire
+                    reply = Message(
+                        protocol.RESP_ERROR, msg.request_id,
+                        protocol.encode_error(exc),
+                    )
+            try:
+                protocol.send_message(sock, reply)
+            except OSError:
+                return
+    finally:
+        stop.set()
+        if health_thread is not None:
+            health_thread.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Front-end bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side state for one shard worker process."""
+
+    __slots__ = (
+        "index", "path", "pid", "sock", "frames", "outbuf", "pending",
+        "generation", "spawned_at", "strikes", "respawn_at",
+    )
+
+    def __init__(self, index: int, path: str):
+        self.index = index
+        self.path = path
+        self.pid: int | None = None
+        self.sock: socket.socket | None = None
+        self.frames = RawFrameBuffer()
+        self.outbuf = bytearray()
+        # The worker serves its socket with one blocking loop, so its
+        # responses come back in exactly the order requests were sent:
+        # in-flight bookkeeping is a FIFO of
+        # ("single", conn, rid) | ("gather", g, idx), matched by order.
+        self.pending: deque[tuple] = deque()
+        self.generation = 0
+        self.spawned_at = 0.0
+        self.strikes = 0              # consecutive crashes shortly after spawn
+        self.respawn_at: float | None = None
+
+
+class _ClientConn:
+    """Parent-side state for one accepted TCP connection."""
+
+    __slots__ = ("sock", "addr", "frames", "outbuf", "server_id", "alive")
+
+    def __init__(self, sock: socket.socket, addr):
+        self.sock = sock
+        self.addr = addr
+        self.frames = RawFrameBuffer()
+        self.outbuf = bytearray()
+        self.server_id: str | None = None
+        self.alive = True
+
+
+class _Gather:
+    """One scatter-gathered request awaiting its per-worker parts."""
+
+    __slots__ = ("conn", "request_id", "opcode", "remaining", "parts",
+                 "done", "limit")
+
+    def __init__(self, conn: _ClientConn, request_id: int, opcode: int,
+                 remaining: int, limit: int | None = None):
+        self.conn = conn
+        self.request_id = request_id
+        self.opcode = opcode
+        self.remaining = remaining
+        self.parts: list[tuple[int, Message]] = []
+        self.done = False
+        self.limit = limit
+
+
+# ---------------------------------------------------------------------------
+# The multi-process server
+# ---------------------------------------------------------------------------
+
+
+class MultiProcessKVServer:
+    """Shared-nothing front-end over N forked shard-worker processes.
+
+    ``make_shard(shard_index, path) -> DB`` runs *inside the worker
+    process* (the front-end never opens an engine), so each worker builds
+    its own env, WAL, block cache, and KeyClient.  Shard ``i`` lives at
+    ``{base_path}/shard-{i:03d}`` -- the same layout as ``ShardedDB`` --
+    and a respawned worker reopens the same path, so on a durable env a
+    crash loses nothing that was acked with a synced WAL.
+
+    **Pass-through forwarding.**  Each worker serves its pipe with one
+    blocking loop, so its responses arrive in exactly the order requests
+    were sent.  The front-end exploits that: in-flight bookkeeping is a
+    per-worker FIFO, and routed frames travel *verbatim* in both
+    directions -- no request-id rewrite, no re-encode, no second CRC
+    computation per hop.  The client's CRC is verified once at the TCP
+    edge, and the worker's response CRC reaches the client intact, so
+    the checksum stays end-to-end even through the proxy.
+    """
+
+    def __init__(self, base_path: str, num_workers: int, make_shard,
+                 config: ServiceConfig | None = None):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.base_path = base_path
+        self.num_workers = num_workers
+        self._make_shard = make_shard
+        self.config = config or ServiceConfig()
+        self.stats = StatsRegistry()
+        self._sel: selectors.BaseSelector | None = None
+        self._listener: socket.socket | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._started = False
+        self._workers = [
+            _WorkerHandle(index, f"{base_path}/shard-{index:03d}")
+            for index in range(num_workers)
+        ]
+        self._clients: set[_ClientConn] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ServiceError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """Live worker pids, by shard index (tests and the chaos harness
+        kill these directly)."""
+        return [worker.pid for worker in self._workers]
+
+    def start(self) -> "MultiProcessKVServer":
+        if self._started:
+            return self
+        self._sel = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.config.host, self.config.port))
+        self._listener.listen(self.config.accept_backlog)
+        self._listener.setblocking(False)
+        for worker in self._workers:
+            self._spawn_worker(worker)
+        self._sel.register(self._listener, selectors.EVENT_READ,
+                           ("accept", None))
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="kv-frontend", daemon=True
+        )
+        self._loop_thread.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: close the listener, drop clients, EOF the
+        worker pipes (each worker closes its engine and exits), reap."""
+        if not self._started or self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=2.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in list(self._clients):
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            conn.alive = False
+        self._clients.clear()
+        for worker in self._workers:
+            if worker.sock is not None:
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+                worker.sock = None
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for worker in self._workers:
+            self._reap_worker(worker, deadline)
+        if self._sel is not None:
+            try:
+                self._sel.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "MultiProcessKVServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _reap_worker(self, worker: _WorkerHandle, deadline: float) -> None:
+        if worker.pid is None:
+            return
+        while True:
+            try:
+                done_pid, __ = os.waitpid(worker.pid, os.WNOHANG)
+            except (ChildProcessError, OSError):
+                break
+            if done_pid:
+                break
+            if time.monotonic() >= deadline:
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                    os.waitpid(worker.pid, 0)
+                except (ChildProcessError, ProcessLookupError, OSError):
+                    pass
+                break
+            time.sleep(0.01)
+        worker.pid = None
+
+    # -- worker processes --------------------------------------------------
+
+    def _spawn_worker(self, worker: _WorkerHandle) -> None:
+        """Fork one shard worker connected by a socketpair.
+
+        The child inherits every parent-side descriptor; it closes them
+        immediately (through the socket *objects*, so a later GC in the
+        child cannot double-close a reused fd number) and then owns only
+        its half of the pair plus whatever its engine opens.
+        """
+        parent_sock, child_sock = socket.socketpair()
+        inherited = [parent_sock]
+        if self._listener is not None:
+            inherited.append(self._listener)
+        inherited.extend(
+            conn.sock for conn in self._clients
+        )
+        inherited.extend(
+            other.sock for other in self._workers
+            if other is not worker and other.sock is not None
+        )
+        pid = os.fork()
+        if pid == 0:
+            # -- child: nothing below may return into the parent's world.
+            status = 1
+            try:
+                for sock in inherited:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                if self._sel is not None:
+                    try:
+                        self._sel.close()
+                    except OSError:
+                        pass
+                _reset_fork_locks()
+                db = self._make_shard(worker.index, worker.path)
+                try:
+                    _serve_shard(db, child_sock, self.config)
+                    status = 0
+                finally:
+                    db.close()
+            except BaseException:  # noqa: BLE001 - child must always _exit
+                status = 1
+            finally:
+                try:
+                    child_sock.close()
+                except OSError:
+                    pass
+                os._exit(status)
+        # -- parent
+        child_sock.close()
+        parent_sock.setblocking(False)
+        worker.pid = pid
+        worker.sock = parent_sock
+        worker.frames = RawFrameBuffer()
+        worker.outbuf = bytearray()
+        worker.pending = deque()
+        worker.generation += 1
+        worker.spawned_at = time.monotonic()
+        worker.respawn_at = None
+        self._sel.register(parent_sock, selectors.EVENT_READ,
+                           ("worker", worker))
+
+    def _handle_worker_crash(self, worker: _WorkerHandle) -> None:
+        """EOF/error on a worker pipe: fail its in-flight requests with
+        the retriable BUSY status, reap the corpse, respawn on the same
+        shard path."""
+        if worker.sock is not None:
+            try:
+                self._sel.unregister(worker.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            worker.sock = None
+        pending, worker.pending = worker.pending, deque()
+        for entry in pending:
+            if entry[0] == "single":
+                __, conn, rid = entry
+                self._reply(conn, Message(protocol.RESP_BUSY, rid))
+            else:
+                __, gather, __idx = entry
+                if not gather.done:
+                    gather.done = True
+                    self._reply(
+                        gather.conn,
+                        Message(protocol.RESP_BUSY, gather.request_id),
+                    )
+        self.stats.counter("service.worker_crashes").add(1)
+        self._reap_worker(worker, time.monotonic() + 1.0)
+        if self._stopping.is_set():
+            return
+        # Crash-loop backoff: a worker that keeps dying right after spawn
+        # (bad shard path, corrupt state) respawns with exponential delay
+        # instead of forking at EOF-detection speed; requests routed to it
+        # answer BUSY until it is back.
+        now = time.monotonic()
+        if now - worker.spawned_at < 1.0:
+            worker.strikes = min(worker.strikes + 1, 8)
+        else:
+            worker.strikes = 0
+        if worker.strikes == 0:
+            self._respawn(worker)
+        else:
+            worker.respawn_at = now + min(0.05 * (2 ** worker.strikes), 2.0)
+
+    def _respawn(self, worker: _WorkerHandle) -> None:
+        self._spawn_worker(worker)
+        self.stats.counter("service.worker_respawns").add(1)
+
+    def _check_respawns(self) -> None:
+        now = time.monotonic()
+        for worker in self._workers:
+            if worker.respawn_at is not None and now >= worker.respawn_at:
+                worker.respawn_at = None
+                self._respawn(worker)
+
+    # -- event loop --------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                events = self._sel.select(timeout=0.05)
+            except OSError:
+                return
+            for key, mask in events:
+                kind, obj = key.data
+                if kind == "accept":
+                    self._on_accept()
+                elif kind == "client":
+                    self._on_client_event(obj, mask)
+                elif kind == "worker":
+                    self._on_worker_event(obj, mask)
+            self._check_respawns()
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _ClientConn(sock, addr)
+            self._clients.add(conn)
+            self.stats.counter("service.connections").add(1)
+            self._sel.register(sock, selectors.EVENT_READ, ("client", conn))
+
+    def _close_client(self, conn: _ClientConn) -> None:
+        conn.alive = False
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._clients.discard(conn)
+
+    def _set_events(self, sock: socket.socket, data, want_write: bool) -> None:
+        events = selectors.EVENT_READ
+        if want_write:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._sel.modify(sock, events, data)
+        except (KeyError, ValueError):
+            pass
+
+    def _flush(self, sock: socket.socket, outbuf: bytearray) -> bool:
+        """Drain as much of ``outbuf`` as the socket accepts; False on a
+        fatal socket error."""
+        while outbuf:
+            try:
+                sent = sock.send(memoryview(outbuf)[:262144])
+            except (BlockingIOError, InterruptedError):
+                return True
+            except OSError:
+                return False
+            del outbuf[:sent]
+        return True
+
+    def _on_client_event(self, conn: _ClientConn, mask: int) -> None:
+        if not conn.alive:
+            return
+        if mask & selectors.EVENT_WRITE:
+            if not self._flush(conn.sock, conn.outbuf):
+                self._close_client(conn)
+                return
+            self._set_events(conn.sock, ("client", conn), bool(conn.outbuf))
+        if mask & selectors.EVENT_READ:
+            try:
+                data = conn.sock.recv(262144)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close_client(conn)
+                return
+            if not data:
+                self._close_client(conn)
+                return
+            conn.frames.feed(data)
+            try:
+                for frame in conn.frames.frames():
+                    frame.verify()  # the TCP edge is the trust boundary
+                    self._dispatch(conn, frame)
+                    if not conn.alive:
+                        return
+            except protocol.ProtocolError:
+                self._close_client(conn)
+
+    def _on_worker_event(self, worker: _WorkerHandle, mask: int) -> None:
+        if worker.sock is None:
+            return
+        if mask & selectors.EVENT_WRITE:
+            if not self._flush(worker.sock, worker.outbuf):
+                self._handle_worker_crash(worker)
+                return
+            self._set_events(
+                worker.sock, ("worker", worker), bool(worker.outbuf)
+            )
+        if mask & selectors.EVENT_READ:
+            try:
+                data = worker.sock.recv(262144)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._handle_worker_crash(worker)
+                return
+            if not data:
+                self._handle_worker_crash(worker)
+                return
+            worker.frames.feed(data)
+            try:
+                for resp in worker.frames.frames():
+                    self._on_worker_response(worker, resp)
+            except protocol.ProtocolError:
+                self._handle_worker_crash(worker)
+
+    def _on_worker_response(self, worker: _WorkerHandle, resp: RawFrame) -> None:
+        if not worker.pending:
+            # A response with nothing in flight: the pipe is out of sync.
+            self._handle_worker_crash(worker)
+            return
+        entry = worker.pending.popleft()
+        if entry[0] == "single":
+            # Pass-through: the worker echoed the client's own request id
+            # (the frame went through untouched), so its response frame --
+            # CRC computed worker-side and still intact -- goes back as-is.
+            __, conn, __rid = entry
+            self._reply_raw(conn, resp.raw)
+            return
+        __, gather, worker_index = entry
+        if gather.done:
+            return
+        gather.parts.append((worker_index, resp.message()))
+        gather.remaining -= 1
+        if gather.remaining == 0:
+            gather.done = True
+            self._finish_gather(gather)
+
+    # -- request routing ---------------------------------------------------
+
+    def _reply(self, conn: _ClientConn, msg: Message) -> None:
+        self._reply_raw(conn, protocol.encode_frame(msg))
+
+    def _reply_raw(self, conn: _ClientConn, raw: bytes) -> None:
+        if not conn.alive:
+            return
+        conn.outbuf += raw
+        if not self._flush(conn.sock, conn.outbuf):
+            self._close_client(conn)
+            return
+        self._set_events(conn.sock, ("client", conn), bool(conn.outbuf))
+
+    def _reply_error(self, conn: _ClientConn, rid: int, exc: Exception) -> None:
+        self.stats.counter("service.errors").add(1)
+        self._reply(conn, Message(
+            protocol.RESP_ERROR, rid, protocol.encode_error(exc)
+        ))
+
+    def _reply_busy(self, conn: _ClientConn, rid: int) -> None:
+        self.stats.counter("service.busy_rejections").add(1)
+        self._reply(conn, Message(protocol.RESP_BUSY, rid))
+
+    def _worker_available(self, worker: _WorkerHandle) -> bool:
+        return (
+            worker.sock is not None
+            and len(worker.pending) < self.config.max_queue_depth
+        )
+
+    def _forward(self, worker: _WorkerHandle, raw: bytes,
+                 entry: tuple) -> None:
+        """Send an already-framed request; FIFO order is the match key."""
+        worker.pending.append(entry)
+        worker.outbuf += raw
+        if not self._flush(worker.sock, worker.outbuf):
+            self._handle_worker_crash(worker)
+            return
+        self._set_events(worker.sock, ("worker", worker), bool(worker.outbuf))
+
+    def _is_authorized(self, server_id: str) -> bool:
+        check = getattr(self.config.kds, "is_authorized", None)
+        if check is None:
+            return True  # no authorization machinery configured
+        return bool(check(server_id))
+
+    def _dispatch(self, conn: _ClientConn, frame: RawFrame) -> None:
+        op = frame.opcode
+        rid = frame.request_id
+        op_name = protocol.OPCODE_NAMES.get(op, f"op{op}")
+        self.stats.counter(f"service.{op_name}").add(1)
+        try:
+            if op == protocol.OP_AUTH:
+                server_id = protocol.decode_auth(frame.payload())
+                if not self._is_authorized(server_id):
+                    self.stats.counter("service.auth_rejections").add(1)
+                    self._reply_error(conn, rid, AuthorizationError(
+                        f"server {server_id!r} is not authorized by the KDS"
+                    ))
+                    return
+                conn.server_id = server_id
+                self.stats.counter("service.auth_accepted").add(1)
+                self._reply(conn, Message(protocol.RESP_OK, rid))
+                return
+            if op == protocol.OP_PING:
+                self._reply(conn, Message(protocol.RESP_OK, rid))
+                return
+            if op == protocol.OP_REPL_SUBSCRIBE:
+                self._reply_error(conn, rid, InvalidArgumentError(
+                    "the multi-process server does not stream replication; "
+                    "subscribe to a per-shard server instead"
+                ))
+                return
+            if self.config.require_auth and conn.server_id is None:
+                self._reply_error(conn, rid, AuthorizationError(
+                    "connection is not authenticated; send AUTH first"
+                ))
+                return
+            if op in (protocol.OP_GET, protocol.OP_PUT, protocol.OP_DELETE):
+                key = protocol.decode_key(frame.payload())
+                worker = self._workers[shard_for_key(key, self.num_workers)]
+                if not self._worker_available(worker):
+                    self._reply_busy(conn, rid)
+                    return
+                # Pass-through: the client's frame goes to the worker
+                # byte-for-byte (its request id and trace header intact),
+                # so the hot path re-encodes nothing and re-CRCs nothing.
+                self._forward(worker, frame.raw, ("single", conn, rid))
+                return
+            if op == protocol.OP_WRITE_BATCH:
+                self._dispatch_write_batch(conn, frame)
+                return
+            if op in _GATHER_OPS:
+                self._dispatch_gather(conn, frame)
+                return
+            self._reply_error(
+                conn, rid, InvalidArgumentError(f"unknown opcode {op}")
+            )
+        except protocol.ProtocolError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - every error goes on the wire
+            self._reply_error(conn, rid, exc)
+
+    def _dispatch_gather(self, conn: _ClientConn, frame: RawFrame) -> None:
+        """Fan one request out to every worker; merged on the way back."""
+        rid = frame.request_id
+        if not all(self._worker_available(w) for w in self._workers):
+            self._reply_busy(conn, rid)
+            return
+        limit = None
+        if frame.opcode == protocol.OP_SCAN:
+            __, __end, limit = protocol.decode_scan(frame.payload())
+        gather = _Gather(conn, rid, frame.opcode, len(self._workers), limit)
+        # Snapshot the target list first: _forward can crash-and-respawn a
+        # worker, and the respawned worker must not receive a double send.
+        # Every worker gets the client's frame verbatim (one shared bytes
+        # object, no per-worker encode).
+        for worker in list(self._workers):
+            self._forward(worker, frame.raw, ("gather", gather, worker.index))
+            if gather.done:
+                return  # a crash mid-fanout already answered BUSY
+
+    def _dispatch_write_batch(self, conn: _ClientConn, frame: RawFrame) -> None:
+        """Split a batch by shard; per-shard atomicity, like ShardedDB."""
+        from repro.lsm.write_batch import WriteBatch
+
+        rid = frame.request_id
+        msg = frame.message()
+        __, batch = WriteBatch.deserialize(msg.payload)
+        per_shard: dict[int, WriteBatch] = {}
+        for vtype, key, value in batch.items():
+            index = shard_for_key(key, self.num_workers)
+            sub = per_shard.setdefault(index, WriteBatch())
+            if vtype:
+                sub.put(key, value)
+            else:
+                sub.delete(key)
+        if not per_shard:
+            self._reply(conn, Message(
+                protocol.RESP_OK, rid, protocol.encode_sequence(0)
+            ))
+            return
+        targets = [self._workers[index] for index in per_shard]
+        if not all(self._worker_available(w) for w in targets):
+            self._reply_busy(conn, rid)
+            return
+        gather = _Gather(conn, rid, msg.opcode, len(per_shard))
+        if len(per_shard) == 1:
+            # Whole batch lands on one shard: forward the original frame.
+            (index,) = per_shard
+            self._forward(self._workers[index], frame.raw,
+                          ("gather", gather, index))
+            return
+        for index, sub in per_shard.items():
+            worker = self._workers[index]
+            raw = protocol.encode_frame(
+                Message(msg.opcode, rid, sub.serialize(0), msg.trace)
+            )
+            self._forward(worker, raw, ("gather", gather, index))
+            if gather.done:
+                return
+
+    # -- gather completion -------------------------------------------------
+
+    def _finish_gather(self, gather: _Gather) -> None:
+        conn = gather.conn
+        rid = gather.request_id
+        if not conn.alive:
+            return
+        for __, part in gather.parts:
+            if part.opcode == protocol.RESP_ERROR:
+                self._reply(conn, Message(protocol.RESP_ERROR, rid, part.payload))
+                return
+        for __, part in gather.parts:
+            if part.opcode == protocol.RESP_DEGRADED:
+                self.stats.counter("service.degraded_rejections").add(1)
+                self._reply(conn, Message(
+                    protocol.RESP_DEGRADED, rid, part.payload
+                ))
+                return
+        op = gather.opcode
+        if op == protocol.OP_SCAN:
+            per_shard = [
+                protocol.decode_pairs(part.payload)
+                for __, part in gather.parts
+            ]
+            merged = merge_scan_results(per_shard, gather.limit)
+            self._reply(conn, Message(
+                protocol.RESP_PAIRS, rid, protocol.encode_pairs(merged)
+            ))
+            return
+        if op == protocol.OP_STATS:
+            snapshots = sorted(
+                (index, protocol.decode_stats(part.payload))
+                for index, part in gather.parts
+            )
+            self._reply(conn, Message(
+                protocol.RESP_STATS, rid,
+                protocol.encode_stats(self._merged_stats(snapshots)),
+            ))
+            return
+        if op == protocol.OP_HEALTH:
+            worst = merge_health([
+                protocol.decode_health(part.payload)
+                for __, part in gather.parts
+            ])
+            self._reply(conn, Message(
+                protocol.RESP_STATS, rid, protocol.encode_health(worst)
+            ))
+            return
+        if op == protocol.OP_WRITE_BATCH:
+            sequence = 0
+            for __, part in gather.parts:
+                if part.payload:
+                    sequence = max(sequence, protocol.decode_sequence(part.payload))
+            self._reply(conn, Message(
+                protocol.RESP_OK, rid, protocol.encode_sequence(sequence)
+            ))
+            return
+        # FLUSH / COMPACT: every part was RESP_OK.
+        self._reply(conn, Message(protocol.RESP_OK, rid))
+
+    def _merged_stats(self, snapshots: list[tuple[int, dict]]) -> dict:
+        """The cross-worker OP_STATS merge: summed gauges, worst-of health,
+        same section layout as the threaded server."""
+        server = self.stats.snapshot()
+        for worker in self._workers:
+            server[f"service.worker_inflight.{worker.index}"] = len(
+                worker.pending
+            )
+            server[f"service.worker_generation.{worker.index}"] = (
+                worker.generation
+            )
+        parts = [snapshot for __, snapshot in snapshots]
+        merged = {
+            "server": server,
+            "engine": merge_numeric([p.get("engine", {}) for p in parts]),
+            "crypto": merge_numeric([p.get("crypto", {}) for p in parts]),
+            "replication": {},
+            "committed_sequence": sum(
+                p.get("committed_sequence", 0) for p in parts
+            ),
+            "health": merge_health([p.get("health", {}) for p in parts]),
+            "workers": {
+                str(index): {
+                    "health": snapshot.get("health", {}),
+                    "committed_sequence": snapshot.get("committed_sequence", 0),
+                }
+                for index, snapshot in snapshots
+            },
+        }
+        keyclients = [p["keyclient"] for p in parts if "keyclient" in p]
+        if keyclients:
+            merged["keyclient"] = merge_numeric(keyclients)
+        return merged

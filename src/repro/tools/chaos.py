@@ -38,28 +38,49 @@ coverage lives in the fault-injection and repair tests instead, where
 the assertion is the weaker (and correct) one -- recovery tolerates the
 torn tail and ``repair_db`` converges.
 
+**Worker-kill chaos** (:func:`run_worker_chaos`) targets the shard-per-core
+server: a seeded schedule SIGKILLs random worker *processes* of a
+:class:`~repro.service.workers.MultiProcessKVServer` mid-workload.  The
+front-end must answer the dead worker's in-flight requests with the
+retriable BUSY status (the client backs off and retries -- no terminal
+errors), respawn the worker on the same shard path, and every
+acknowledged write must still read back afterwards (the shards run with
+synced WALs, so an ack survives a SIGKILL).  The engines run *plain*
+here by design: a respawned worker builds its state from the shard
+directory alone, and the CLI's in-process KDS cannot outlive a killed
+worker -- encrypted worker-respawn needs the shared KDS a real
+deployment has (see DESIGN.md §10).
+
 CLI::
 
     python -m repro.tools.chaos --mode soak --seed 7 --profile fast
     python -m repro.tools.chaos --mode matrix --out report.json
+    python -m repro.tools.chaos --mode workers --seed 7
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import shutil
+import signal
 import sys
+import tempfile
 import time
 
 from repro.env.faulty import FaultInjectionEnv
+from repro.env.local import LocalEnv
 from repro.env.mem import MemEnv
 from repro.errors import ReproError
 from repro.keys.faulty import FaultyKDS
 from repro.keys.kds import InMemoryKDS
+from repro.lsm.db import DB
 from repro.lsm.options import Options
 from repro.service.client import KVClient
 from repro.service.server import KVServer, ServiceConfig
+from repro.service.workers import MultiProcessKVServer
 from repro.shield.config import ShieldOptions, open_shield_db
 from repro.tools.dek_audit import audit_directory
 from repro.util.syncpoint import SYNC
@@ -612,6 +633,194 @@ def run_chaos(seed: int = 0, profile: str = "fast") -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Worker-kill chaos (shard-per-core server)
+# ---------------------------------------------------------------------------
+
+
+def run_worker_chaos(
+    seed: int = 0, profile: str = "fast", num_workers: int = 3
+) -> dict:
+    """SIGKILL random shard workers mid-workload; verify zero acked loss.
+
+    The engines are plain (unencrypted) on a local filesystem with synced
+    WALs: the respawned worker must rebuild everything from its shard
+    directory, so any acknowledged write a kill destroys is a real
+    durability bug, not a key-distribution artifact.
+    """
+    spec = PROFILES[profile]
+    rng = random.Random(seed ^ 0x3C4A)
+    base = tempfile.mkdtemp(prefix="repro-worker-chaos-")
+
+    def make_shard(index: int, path: str) -> DB:
+        env = LocalEnv()
+        env.mkdirs(path)
+        return DB(path, Options(
+            env=env,
+            write_buffer_size=4096,
+            block_size=512,
+            level0_file_num_compaction_trigger=2,
+            wal_sync_writes=True,
+            slowdown_delay_s=0.0,
+        ))
+
+    config = ServiceConfig(
+        port=0,
+        max_queue_depth=32,
+        health_check_interval_s=0.05,
+        drain_timeout_s=2.0,
+    )
+    server = MultiProcessKVServer(
+        f"{base}/db", num_workers, make_shard, config
+    ).start()
+    host, port = server.address
+    client = KVClient(
+        host,
+        port,
+        pool_size=2,
+        timeout_s=5.0,
+        max_retries=10,
+        backoff_base_s=0.005,
+        backoff_max_s=0.1,
+        deadline_s=5.0,
+        rng=random.Random(seed ^ 0xC11E),
+    )
+
+    ops = spec["ops"]
+    kill_count = max(2, spec["crashes"] * 2)
+    kill_at = sorted(
+        rng.sample(range(ops // 10, ops - ops // 10), kill_count)
+    )
+    kill_schedule = set(kill_at)
+
+    acked: dict[bytes, bytes | None] = {}
+    indoubt: dict[bytes, set] = {}
+    counters = {"ops": 0, "acked": 0, "failed": 0, "kills": 0}
+    keyspace = spec["keys"]
+    mismatches: list[dict] = []
+
+    try:
+        for op_index in range(ops):
+            counters["ops"] += 1
+            if op_index in kill_schedule:
+                victims = [pid for pid in server.worker_pids if pid]
+                if victims:
+                    counters["kills"] += 1
+                    try:
+                        os.kill(rng.choice(victims), signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+            key = _key(rng.randrange(keyspace))
+            roll = rng.random()
+            try:
+                if roll < 0.65:
+                    value = _value(op_index, 3)
+                    client.put(key, value)
+                    acked[key] = value
+                    indoubt.pop(key, None)
+                elif roll < 0.85:
+                    got = client.get(key)
+                    allowed = {acked.get(key, _TOMBSTONE)}
+                    allowed |= indoubt.get(key, set())
+                    if got not in allowed:
+                        mismatches.append({
+                            "op": op_index,
+                            "key": key.decode(),
+                            "got": None if got is None else got.decode(),
+                            "phase": "inline-read",
+                        })
+                elif roll < 0.95:
+                    client.delete(key)
+                    acked[key] = _TOMBSTONE
+                    indoubt.pop(key, None)
+                else:
+                    scanned = client.scan(_key(0), _key(keyspace), limit=20)
+                    keys = [k for k, __ in scanned]
+                    if keys != sorted(keys):
+                        mismatches.append({
+                            "op": op_index,
+                            "phase": "scan-order",
+                            "got": "unordered scatter-gather scan",
+                        })
+            except (ReproError, OSError):
+                counters["failed"] += 1
+                if roll < 0.65:
+                    indoubt.setdefault(key, set()).add(value)
+                elif 0.85 <= roll < 0.95:
+                    indoubt.setdefault(key, set()).add(_TOMBSTONE)
+            else:
+                counters["acked"] += 1
+
+        # Every worker must be back (respawned) and healthy.
+        healthy = False
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            try:
+                if (
+                    client.health()["state"] == "healthy"
+                    and all(server.worker_pids)
+                ):
+                    healthy = True
+                    break
+            except (ReproError, OSError):
+                pass
+            time.sleep(0.05)
+
+        verified = 0
+        for key in sorted(set(acked) | set(indoubt)):
+            allowed = {acked.get(key, _TOMBSTONE)}
+            allowed |= indoubt.get(key, set())
+            try:
+                got = client.get(key)
+            except (ReproError, OSError) as exc:
+                mismatches.append({
+                    "key": key.decode(),
+                    "got": f"error: {exc!r}",
+                    "phase": "read-back",
+                })
+                continue
+            verified += 1
+            if got not in allowed:
+                mismatches.append({
+                    "key": key.decode(),
+                    "got": None if got is None else got.decode(),
+                    "phase": "read-back",
+                })
+        stats = server.stats.snapshot()
+    finally:
+        try:
+            client.close()
+        except Exception:  # noqa: BLE001
+            pass
+        try:
+            server.stop()
+        except Exception:  # noqa: BLE001
+            pass
+        shutil.rmtree(base, ignore_errors=True)
+
+    counters["worker_crashes"] = int(stats.get("service.worker_crashes", 0))
+    counters["worker_respawns"] = int(stats.get("service.worker_respawns", 0))
+    counters["busy_rejections"] = int(stats.get("service.busy_rejections", 0))
+    return {
+        "seed": seed,
+        "profile": profile,
+        "num_workers": num_workers,
+        "kill_schedule": kill_at,
+        "counters": counters,
+        "keys_tracked": len(set(acked) | set(indoubt)),
+        "keys_verified": verified,
+        "mismatches": mismatches,
+        "healthy_at_end": healthy,
+        "ok": (
+            healthy
+            and not mismatches
+            and counters["acked"] > 0
+            and counters["kills"] > 0
+            and counters["worker_respawns"] >= counters["kills"]
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -622,7 +831,14 @@ def main(argv: list[str] | None = None) -> int:
         description="Crash-point matrix and seeded chaos soak for SHIELD.",
     )
     parser.add_argument(
-        "--mode", choices=("soak", "matrix", "both"), default="soak"
+        "--mode", choices=("soak", "matrix", "workers", "both"),
+        default="soak",
+        help="'workers' SIGKILLs shard workers of the multi-process "
+        "server; 'both' runs soak + matrix",
+    )
+    parser.add_argument(
+        "--num-workers", type=int, default=3,
+        help="worker processes for --mode workers",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -646,6 +862,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"matrix  {point:35s} {status}")
             if not row["ok"]:
                 print(f"        {json.dumps(row, default=str)}")
+    if args.mode == "workers":
+        workers = run_worker_chaos(
+            seed=args.seed, profile=args.profile, num_workers=args.num_workers
+        )
+        report["workers"] = workers
+        ok = ok and workers["ok"]
+        c = workers["counters"]
+        print(
+            f"workers seed={workers['seed']} profile={workers['profile']} "
+            f"n={workers['num_workers']} ops={c['ops']} acked={c['acked']} "
+            f"kills={c['kills']} respawns={c['worker_respawns']} "
+            f"busy={c['busy_rejections']} "
+            f"verified={workers['keys_verified']}/{workers['keys_tracked']} "
+            f"{'ok' if workers['ok'] else 'FAIL'}"
+        )
+        for miss in workers["mismatches"]:
+            print(f"        mismatch: {json.dumps(miss)}")
     if args.mode in ("soak", "both"):
         soak = run_chaos(seed=args.seed, profile=args.profile)
         report["soak"] = soak

@@ -13,6 +13,12 @@ Examples::
     # Plaintext engine (baseline measurements):
     python -m repro.tools.serve --plain --port 7475
 
+    # Shard-per-core serving: 4 worker *processes*, each owning one shard
+    # (its own WAL, block cache, DEK cache, KeyClient) behind an
+    # event-loop front-end -- the GIL stops being the throughput ceiling:
+    python -m repro.tools.serve --multiprocess --workers 4 \
+        --env local --db /var/lib/repro --port 7475 --passkey secret
+
 The in-process KDS this CLI builds stands in for a real key-distribution
 deployment; point several servers at one KDS by embedding the library
 instead (see DESIGN.md, "Serving tier").
@@ -32,6 +38,7 @@ from repro.keys.kds import InMemoryKDS
 from repro.lsm.db import DB
 from repro.lsm.options import Options
 from repro.service.server import KVServer, ServiceConfig
+from repro.service.workers import MultiProcessKVServer
 from repro.shield import ShieldOptions, open_shield_db
 
 
@@ -57,7 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(the CLI's in-process KDS is ephemeral)")
     parser.add_argument("--wal-buffer", type=int, default=512)
     parser.add_argument("--write-buffer-size", type=int, default=4 * 1024 * 1024)
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="threaded mode: executor threads; "
+                        "--multiprocess: shard worker processes")
+    parser.add_argument("--multiprocess", action="store_true",
+                        help="shard-per-core serving: fork --workers "
+                        "processes, each owning one shard, behind an "
+                        "event-loop front-end (--shards is ignored; the "
+                        "shard count equals the worker count)")
     parser.add_argument("--queue-depth", type=int, default=64)
     parser.add_argument("--require-auth", action="store_true",
                         help="demand a KDS-authorized AUTH before serving")
@@ -66,24 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_db(args):
-    env = LocalEnv() if args.env == "local" else MemEnv()
-    if args.env == "local":
-        env.mkdirs(args.db)
-    options = Options(env=env, write_buffer_size=args.write_buffer_size)
-    kds = InMemoryKDS()
-    # The CLI's KDS lives and dies with the process; without a durable DEK
-    # store an encrypted --env local database could never be reopened.  A
-    # passkey wraps one shared on-disk cache (the paper's secure DEK cache).
-    dek_cache = None
-    if args.passkey is not None and not args.plain:
-        from repro.keys.cache import SecureDEKCache
+def _shard_factory(args, kds, shared_dek_cache):
+    """The shard constructor both serving modes use.
 
-        dek_cache = SecureDEKCache(args.db + ".dekcache", args.passkey)
+    In ``--multiprocess`` mode this closure runs *inside the forked
+    worker*, so everything it builds -- env handles, the KeyClient, the
+    DEK cache file -- is private to that process; the per-shard cache
+    path keeps two workers from racing on one cache file.
+    """
 
     def make_shard(index: int, path: str):
+        env = LocalEnv() if args.env == "local" else MemEnv()
+        if args.env == "local":
+            env.mkdirs(path)
+        options = Options(env=env, write_buffer_size=args.write_buffer_size)
         if args.plain:
-            return DB(path, replace(options))
+            return DB(path, options)
+        dek_cache = shared_dek_cache
+        if dek_cache is None and args.passkey is not None and args.multiprocess:
+            from repro.keys.cache import SecureDEKCache
+
+            dek_cache = SecureDEKCache(
+                f"{args.db}.dekcache-{index:03d}", args.passkey
+            )
         shield = ShieldOptions(
             kds=kds,
             server_id=f"serve-shard-{index}",
@@ -93,6 +112,22 @@ def _make_db(args):
         )
         return open_shield_db(path, shield, replace(options))
 
+    return make_shard
+
+
+def _make_db(args, kds):
+    """Open the engine for the threaded (single-process) server."""
+    if args.env == "local":
+        LocalEnv().mkdirs(args.db)
+    # The CLI's KDS lives and dies with the process; without a durable DEK
+    # store an encrypted --env local database could never be reopened.  A
+    # passkey wraps one shared on-disk cache (the paper's secure DEK cache).
+    dek_cache = None
+    if args.passkey is not None and not args.plain:
+        from repro.keys.cache import SecureDEKCache
+
+        dek_cache = SecureDEKCache(args.db + ".dekcache", args.passkey)
+    make_shard = _shard_factory(args, kds, dek_cache)
     if args.shards > 1:
         return ShardedDB(args.db, args.shards, make_shard)
     return make_shard(0, args.db)
@@ -100,21 +135,35 @@ def _make_db(args):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    db = _make_db(args)
+    kds = InMemoryKDS()
     config = ServiceConfig(
         host=args.host,
         port=args.port,
         num_workers=args.workers,
         max_queue_depth=args.queue_depth,
         require_auth=args.require_auth,
+        kds=kds,
     )
-    server = KVServer(db, config)
+    db = None
+    if args.multiprocess:
+        # Worker processes open their own shards after the fork; the
+        # front-end never holds an engine.  Each worker inherits a copy
+        # of the in-process KDS, which is fine for the CLI's ephemeral
+        # deployment (a real deployment points every worker at one
+        # networked KDS).
+        server = MultiProcessKVServer(
+            args.db, args.workers, _shard_factory(args, kds, None), config
+        )
+        shard_desc = f"{args.workers} worker process(es)"
+    else:
+        db = _make_db(args, kds)
+        server = KVServer(db, config)
+        shard_desc = f"{args.shards} shard(s)"
     server.start()
     host, port = server.address
     mode = "plaintext" if args.plain else f"shield/{args.scheme}"
     print(
-        f"serving {args.db} ({mode}, {args.shards} shard(s)) "
-        f"on {host}:{port}",
+        f"serving {args.db} ({mode}, {shard_desc}) on {host}:{port}",
         flush=True,
     )
     try:
@@ -127,7 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         print("shutting down", flush=True)
     finally:
         server.stop()
-        db.close()
+        if db is not None:
+            db.close()
     return 0
 
 

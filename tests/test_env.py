@@ -56,6 +56,44 @@ def test_random_access_read(env):
         assert handle.read(95, 50) == bytes(range(95, 100))  # short read at EOF
 
 
+def test_concurrent_positioned_reads(env):
+    """One shared RandomAccessFile, many threads, distinct offsets.
+
+    Regression for a seek()+read() race in LocalEnv: two threads
+    interleaving on the shared handle would both read from the second
+    thread's offset, which the engine then reports as block-checksum
+    corruption.  Positioned reads must be atomic per call.
+    """
+    import threading
+
+    e, root = env
+    path = f"{root}/file.sst"
+    block = 512
+    blocks = 64
+    data = b"".join(
+        bytes([i]) * block for i in range(blocks)
+    )
+    e.write_file(path, data)
+    mismatches = []
+    with e.new_random_access_file(path) as handle:
+        def reader(seed: int) -> None:
+            import random
+
+            rand = random.Random(seed)
+            for _ in range(400):
+                i = rand.randrange(blocks)
+                got = handle.read(i * block, block)
+                if got != bytes([i]) * block:
+                    mismatches.append(i)
+
+        threads = [threading.Thread(target=reader, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert not mismatches
+
+
 def test_delete_rename_list(env):
     e, root = env
     e.write_file(f"{root}/a.sst", b"a")

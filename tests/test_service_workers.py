@@ -1,0 +1,432 @@
+"""Tests for shard-per-core serving: MultiProcessKVServer + ShardedKVClient.
+
+The forked workers are real processes, so everything here exercises the
+actual fork/route/gather machinery: the factories below run *inside* the
+child after the fork (closures are inherited by fork, nothing is pickled).
+"""
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.dist.sharding import shard_for_key
+from repro.env.local import LocalEnv
+from repro.env.mem import MemEnv
+from repro.errors import AuthorizationError, ServiceError
+from repro.keys.kds import InMemoryKDS, SimulatedKDS
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+from repro.service import protocol
+from repro.service.client import KVClient, ShardedKVClient
+from repro.service.protocol import Message
+from repro.service.server import KVServer, ServiceConfig
+from repro.service.workers import FrameBuffer, MultiProcessKVServer
+from repro.shield import ShieldOptions, open_shield_db
+
+
+def _mem_factory(**options):
+    """Each worker builds a private MemEnv after the fork: shared-nothing."""
+
+    def make_shard(index, path):
+        opts = dict(options)
+        opts.setdefault("write_buffer_size", 64 * 1024)
+        return DB(path, Options(env=MemEnv(), **opts))
+
+    return make_shard
+
+
+def _local_factory(**options):
+    """Durable shards: a respawned worker recovers from its shard dir."""
+
+    def make_shard(index, path):
+        env = LocalEnv()
+        env.mkdirs(path)
+        opts = dict(options)
+        opts.setdefault("write_buffer_size", 16 * 1024)
+        opts.setdefault("wal_sync_writes", True)
+        return DB(path, Options(env=env, **opts))
+
+    return make_shard
+
+
+def _retrying_client(server, **kwargs):
+    kwargs.setdefault("max_retries", 12)
+    kwargs.setdefault("backoff_base_s", 0.005)
+    kwargs.setdefault("backoff_max_s", 0.1)
+    kwargs.setdefault("timeout_s", 5.0)
+    return KVClient(*server.address, **kwargs)
+
+
+# -- basic operation routing -------------------------------------------------
+
+
+def test_multiprocess_roundtrip_all_operations(tmp_path):
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 3, _mem_factory()) as server:
+        assert len(server.worker_pids) == 3
+        assert all(server.worker_pids)
+        with _retrying_client(server) as client:
+            client.ping()
+            for i in range(30):
+                client.put(b"key-%03d" % i, b"val-%03d" % i)
+            for i in range(30):
+                assert client.get(b"key-%03d" % i) == b"val-%03d" % i
+            assert client.get(b"missing") is None
+            client.delete(b"key-000")
+            assert client.get(b"key-000") is None
+
+            client.flush()
+            client.compact_range()
+            assert client.get(b"key-007") == b"val-007"
+
+            health = client.health()
+            assert health["state"] == "healthy"
+            assert client.committed_sequence() >= 30
+
+
+def test_merged_stats_shape(tmp_path):
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 3, _mem_factory()) as server:
+        with _retrying_client(server) as client:
+            for i in range(12):
+                client.put(b"s-%d" % i, b"v")
+            stats = client.stats()
+    assert set(stats["workers"]) == {"0", "1", "2"}
+    for shard in stats["workers"].values():
+        assert shard["health"]["state"] == "healthy"
+    assert stats["health"]["state"] == "healthy"
+    assert stats["committed_sequence"] == sum(
+        shard["committed_sequence"] for shard in stats["workers"].values()
+    )
+    # repro-stats reads these sections; the front-end adds per-worker gauges.
+    assert "engine" in stats and "crypto" in stats and "server" in stats
+    for idx in range(3):
+        assert stats["server"][f"service.worker_generation.{idx}"] == 1
+
+
+def test_scatter_gather_scan_matches_single_db(tmp_path):
+    """A cross-shard scan must be indistinguishable from one engine."""
+    reference = DB("/ref", Options(env=MemEnv(), write_buffer_size=64 * 1024))
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 4, _mem_factory()) as server:
+        with _retrying_client(server) as client:
+            for i in range(80):
+                key, value = b"k-%04d" % (i * 7 % 80), b"v-%04d" % i
+                client.put(key, value)
+                reference.put(key, value)
+            for start, end, limit in [
+                (b"", None, None),
+                (b"", None, 10),
+                (b"k-0010", b"k-0060", None),
+                (b"k-0010", b"k-0060", 7),
+                (b"zzz", None, 5),
+            ]:
+                assert client.scan(start, end, limit=limit) == reference.scan(
+                    start, end, limit=limit
+                ), (start, end, limit)
+    reference.close()
+
+
+def test_write_batch_splits_across_shards(tmp_path):
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 3, _mem_factory()) as server:
+        with _retrying_client(server) as client:
+            batch = WriteBatch()
+            for i in range(24):
+                batch.put(b"b-%03d" % i, b"v-%03d" % i)
+            batch.delete(b"b-003")
+            client.write(batch)
+            # The batch really fanned out to more than one worker.
+            touched = {shard_for_key(b"b-%03d" % i, 3) for i in range(24)}
+            assert len(touched) > 1
+            for i in range(24):
+                expect = None if i == 3 else b"v-%03d" % i
+                assert client.get(b"b-%03d" % i) == expect
+
+            empty = WriteBatch()
+            client.write(empty)  # no-op, not an error
+
+
+# -- crash handling ----------------------------------------------------------
+
+
+def test_worker_crash_is_retriable_and_respawns(tmp_path):
+    base = str(tmp_path / "mp")
+    server = MultiProcessKVServer(
+        base, 3, _local_factory(), ServiceConfig(port=0, drain_timeout_s=2.0)
+    )
+    server.start()
+    try:
+        with _retrying_client(server) as client:
+            for i in range(30):
+                client.put(b"c-%03d" % i, b"v-%03d" % i)
+            victim = server.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            # The client sees retriable BUSY while the worker respawns; the
+            # synced WAL means every acked write survives the kill.
+            for i in range(30):
+                assert client.get(b"c-%03d" % i) == b"v-%03d" % i
+            client.put(b"after-crash", b"ok")
+            assert client.get(b"after-crash") == b"ok"
+
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if all(server.worker_pids):
+                    break
+                time.sleep(0.02)
+            assert all(server.worker_pids)
+            assert server.worker_pids[0] != victim
+
+            stats = client.stats()
+            assert stats["server"]["service.worker_crashes"] >= 1
+            assert stats["server"]["service.worker_respawns"] >= 1
+            assert stats["server"]["service.worker_generation.0"] >= 2
+    finally:
+        server.stop()
+
+
+def test_graceful_stop_reaps_every_worker(tmp_path):
+    base = str(tmp_path / "mp")
+    server = MultiProcessKVServer(base, 2, _mem_factory())
+    server.start()
+    pids = list(server.worker_pids)
+    assert all(pids)
+    server.stop()
+    assert server.worker_pids == [None, None]
+    for pid in pids:  # reaped: not our children any more, no zombies
+        with pytest.raises(ChildProcessError):
+            os.waitpid(pid, os.WNOHANG)
+
+
+# -- backpressure ------------------------------------------------------------
+
+
+def test_busy_backpressure_per_worker_queue(tmp_path):
+    """Pipelined writes beyond one worker's queue depth get RESP_BUSY."""
+
+    def slow_factory(index, path):
+        db = DB(path, Options(env=MemEnv(), write_buffer_size=64 * 1024))
+
+        class _SlowDB:
+            def put(self, key, value, opts=None):
+                time.sleep(0.15)
+                return db.put(key, value, opts)
+
+            def __getattr__(self, name):
+                return getattr(db, name)
+
+        return _SlowDB()
+
+    base = str(tmp_path / "mp")
+    config = ServiceConfig(port=0, max_queue_depth=2, drain_timeout_s=1.0)
+    with MultiProcessKVServer(base, 1, slow_factory, config) as server:
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            blob = b"".join(
+                protocol.encode_frame(Message(
+                    protocol.OP_PUT, rid,
+                    protocol.encode_put(b"slow-%d" % rid, b"v"),
+                ))
+                for rid in range(1, 11)
+            )
+            sock.sendall(blob)
+            opcodes = []
+            for _ in range(10):
+                msg = protocol.read_message(sock)
+                opcodes.append(msg.opcode)
+            assert opcodes.count(protocol.RESP_BUSY) >= 1
+            assert opcodes.count(protocol.RESP_OK) >= 1
+            assert len(opcodes) == 10  # every request was answered
+        finally:
+            sock.close()
+        # BUSY is retriable: the client-side backoff absorbs it.
+        with _retrying_client(server, deadline_s=20.0) as client:
+            client.put(b"retried", b"ok")
+            assert client.get(b"retried") == b"ok"
+            assert client.stats()["server"]["service.busy_rejections"] >= 1
+
+
+# -- auth and protocol edges -------------------------------------------------
+
+
+def test_require_auth_gates_operations(tmp_path):
+    kds = SimulatedKDS(request_latency_s=0.0)
+    kds.authorize_server("good-client")
+    config = ServiceConfig(port=0, require_auth=True, kds=kds)
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 2, _mem_factory(), config) as server:
+        with pytest.raises(AuthorizationError):
+            KVClient(*server.address, server_id="impostor",
+                     max_retries=0).ping()
+        with KVClient(*server.address, server_id="good-client") as client:
+            client.put(b"k", b"v")
+            assert client.get(b"k") == b"v"
+        # No AUTH at all is also rejected for non-AUTH ops.
+        sock = socket.create_connection(server.address, timeout=5.0)
+        try:
+            protocol.send_message(sock, Message(
+                protocol.OP_GET, 1, protocol.encode_key(b"k")
+            ))
+            assert protocol.read_message(sock).opcode == protocol.RESP_ERROR
+        finally:
+            sock.close()
+
+
+def test_replication_subscribe_is_rejected(tmp_path):
+    base = str(tmp_path / "mp")
+    with MultiProcessKVServer(base, 2, _mem_factory()) as server:
+        sock = socket.create_connection(server.address, timeout=5.0)
+        try:
+            protocol.send_message(sock, Message(
+                protocol.OP_REPL_SUBSCRIBE, 1,
+                protocol.encode_repl_subscribe("replica-1", 0),
+            ))
+            resp = protocol.read_message(sock)
+            assert resp.opcode == protocol.RESP_ERROR
+            with pytest.raises(Exception, match="per-shard"):
+                raise protocol.decode_error(resp.payload)
+        finally:
+            sock.close()
+
+
+def test_frame_buffer_reassembles_split_frames():
+    frames = b"".join(
+        protocol.encode_frame(Message(protocol.OP_PING, rid, b""))
+        for rid in range(1, 4)
+    )
+    buf = FrameBuffer()
+    seen = []
+    for i in range(0, len(frames), 3):  # drip-feed 3 bytes at a time
+        buf.feed(frames[i:i + 3])
+        seen.extend(msg.request_id for msg in buf.messages())
+    assert seen == [1, 2, 3]
+
+
+# -- encrypted shards --------------------------------------------------------
+
+
+def test_shield_multiprocess_smoke(tmp_path):
+    kds = InMemoryKDS()
+
+    def make_shard(index, path):
+        env = LocalEnv()
+        env.mkdirs(path)
+        shield = ShieldOptions(kds=kds, server_id=f"test-shard-{index}")
+        return open_shield_db(
+            path, shield, Options(env=env, write_buffer_size=16 * 1024)
+        )
+
+    base = str(tmp_path / "mp-shield")
+    with MultiProcessKVServer(base, 2, make_shard) as server:
+        with _retrying_client(server) as client:
+            for i in range(20):
+                client.put(b"enc-%02d" % i, b"secret-%02d" % i)
+            client.flush()
+            for i in range(20):
+                assert client.get(b"enc-%02d" % i) == b"secret-%02d" % i
+            stats = client.stats()
+            assert stats["crypto"].get("crypto.bytes", 0) > 0
+            assert stats["health"]["state"] == "healthy"
+
+
+# -- ShardedKVClient ---------------------------------------------------------
+
+
+def _start_servers(n):
+    """n independent single-shard KVServers (client-side sharding)."""
+    backends = []
+    for i in range(n):
+        db = DB(f"/cskv-{i}", Options(env=MemEnv(), write_buffer_size=64 * 1024))
+        server = KVServer(db, ServiceConfig(port=0))
+        server.start()
+        backends.append((db, server))
+    return backends
+
+
+def _stop_servers(backends):
+    for db, server in backends:
+        server.stop()
+        db.close()
+
+
+def test_sharded_client_fixed_routing():
+    backends = _start_servers(3)
+    try:
+        endpoints = [server.address for _, server in backends]
+        with ShardedKVClient(endpoints) as client:
+            assert client.num_shards == 3
+            for i in range(40):
+                client.put(b"f-%03d" % i, b"v-%03d" % i)
+            for i in range(40):
+                assert client.get(b"f-%03d" % i) == b"v-%03d" % i
+            client.delete(b"f-000")
+            assert client.get(b"f-000") is None
+
+            # Keys really land on the shard shard_for_key names.
+            for i in range(40):
+                key = b"f-%03d" % i
+                home = shard_for_key(key, 3)
+                expect = None if i == 0 else b"v-%03d" % i
+                assert backends[home][0].get(key) == expect
+
+            pairs = client.scan(b"f-", b"f-\xff", limit=10)
+            assert pairs == [
+                (b"f-%03d" % i, b"v-%03d" % i) for i in range(1, 11)
+            ]
+
+            batch = WriteBatch()
+            for i in range(12):
+                batch.put(b"fb-%02d" % i, b"w")
+            client.write(batch)
+            assert all(client.get(b"fb-%02d" % i) == b"w" for i in range(12))
+
+            stats = client.stats()
+            assert set(stats["endpoints"]) == {"0", "1", "2"}
+            assert client.health()["state"] == "healthy"
+            client.flush()
+            client.compact_range()
+            client.ping()
+            assert client.committed_sequence() == sum(
+                ep["committed_sequence"] for ep in stats["endpoints"].values()
+            )  # flush/compact commit nothing after the stats snapshot
+    finally:
+        _stop_servers(backends)
+
+
+def test_sharded_client_ring_routing():
+    backends = _start_servers(3)
+    try:
+        endpoints = {
+            f"node-{chr(97 + i)}": server.address
+            for i, (_, server) in enumerate(backends)
+        }
+        with ShardedKVClient(endpoints) as client:
+            for i in range(30):
+                client.put(b"r-%03d" % i, b"v-%03d" % i)
+            for i in range(30):
+                assert client.get(b"r-%03d" % i) == b"v-%03d" % i
+            assert client.scan(b"r-", b"r-\xff", limit=5) == [
+                (b"r-%03d" % i, b"v-%03d" % i) for i in range(5)
+            ]
+    finally:
+        _stop_servers(backends)
+
+
+def test_sharded_client_rejects_bad_configurations():
+    with pytest.raises(ServiceError):
+        ShardedKVClient([])
+    with pytest.raises(ServiceError):
+        ShardedKVClient({})
+    from repro.dist.sharding import HashRing
+
+    with pytest.raises(ServiceError, match="named endpoints"):
+        ShardedKVClient([("127.0.0.1", 1)], ring=HashRing(["x"]))
+    with pytest.raises(ServiceError, match="without an endpoint"):
+        ShardedKVClient(
+            {"a": ("127.0.0.1", 1)}, ring=HashRing(["a", "ghost"])
+        )

@@ -1,8 +1,15 @@
 """Tests for the sharded deployment and the shared secure DEK cache."""
 
+import os
+
 import pytest
 
-from repro.dist.sharding import ShardedDB, shard_for_key
+from repro.dist.sharding import (
+    HashRing,
+    ShardedDB,
+    merge_scan_results,
+    shard_for_key,
+)
 from repro.env.mem import MemEnv
 from repro.keys.cache import SecureDEKCache
 from repro.keys.kds import SimulatedKDS
@@ -198,3 +205,109 @@ def test_close_propagates_first_shard_error_but_closes_all():
         with pytest.raises(Exception):
             shard.put(b"x", b"y")  # closed despite the first shard's error
     exploding.db.close()
+
+
+# -- cross-shard scan merge (regression) -------------------------------------
+
+
+def test_cross_shard_scan_globally_ordered_with_limit():
+    """Regression: the limit must apply to the *merged* stream, not per
+    shard -- a per-shard cut used to return shard-0's keys first."""
+    with _plain_sharded(4) as cluster:
+        keys = [b"scan-%04d" % (i * 13 % 200) for i in range(200)]
+        for key in keys:
+            cluster.put(key, b"v:" + key)
+        want = sorted(set(keys))
+        got = cluster.scan(b"", None, limit=25)
+        assert [k for k, _ in got] == want[:25]
+        assert all(v == b"v:" + k for k, v in got)
+        # No limit: the full key space, globally ordered.
+        assert [k for k, _ in cluster.scan(b"", None)] == want
+        # A bounded range with a limit straddling several shards.
+        got = cluster.scan(b"scan-0050", b"scan-0150", limit=10)
+        in_range = [k for k in want if b"scan-0050" <= k < b"scan-0150"]
+        assert [k for k, _ in got] == in_range[:10]
+
+
+def test_merge_scan_results_applies_limit_after_merging():
+    shard_a = [(b"a", b"1"), (b"d", b"4")]
+    shard_b = [(b"b", b"2"), (b"e", b"5")]
+    shard_c = [(b"c", b"3")]
+    merged = merge_scan_results([shard_a, shard_b, shard_c], limit=3)
+    assert merged == [(b"a", b"1"), (b"b", b"2"), (b"c", b"3")]
+    assert merge_scan_results([shard_a, shard_b, shard_c], limit=None) == [
+        (b"a", b"1"), (b"b", b"2"), (b"c", b"3"), (b"d", b"4"), (b"e", b"5")
+    ]
+    assert merge_scan_results([], limit=5) == []
+
+
+# -- consistent hashing ------------------------------------------------------
+
+
+def test_hash_ring_routes_every_key_to_a_member():
+    ring = HashRing(["a", "b", "c"])
+    assert ring.nodes == {"a", "b", "c"}
+    for i in range(1000):
+        assert ring.node_for_key(b"key-%04d" % i) in {"a", "b", "c"}
+
+
+def test_hash_ring_growth_moves_only_keys_to_the_new_node():
+    ring = HashRing(["a", "b", "c"])
+    keys = [b"ring-%05d" % i for i in range(3000)]
+    before = {key: ring.node_for_key(key) for key in keys}
+    ring.add_node("d")
+    moved = 0
+    for key in keys:
+        after = ring.node_for_key(key)
+        if after != before[key]:
+            moved += 1
+            assert after == "d"  # every moved key lands on the newcomer
+    assert 0 < moved < len(keys) // 2  # ~1/4 expected, never a reshuffle
+    ring.remove_node("d")
+    assert {key: ring.node_for_key(key) for key in keys} == before
+
+
+def test_hash_ring_rejects_bad_membership_changes():
+    ring = HashRing(["a"])
+    with pytest.raises(Exception):
+        ring.add_node("a")  # duplicate
+    with pytest.raises(Exception):
+        ring.remove_node("ghost")
+    ring.remove_node("a")
+    with pytest.raises(Exception):
+        ring.node_for_key(b"k")  # empty ring
+    with pytest.raises(Exception):
+        HashRing(replicas=0)
+
+
+# -- cross-process routing determinism ---------------------------------------
+
+
+def test_shard_for_key_is_pythonhashseed_independent():
+    """The wire contract: client and server processes, started with
+    different hash seeds, must agree on every key's shard."""
+    import subprocess
+    import sys
+
+    program = (
+        "from repro.dist.sharding import shard_for_key\n"
+        "print(','.join(str(shard_for_key(b'key-%04d' % i, 5))"
+        " for i in range(200)))\n"
+    )
+    outputs = []
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, env=env, timeout=60,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert result.returncode == 0, result.stderr
+        outputs.append(result.stdout.strip())
+    assert outputs[0] == outputs[1] == outputs[2]
+    # And the in-process interpreter agrees with the subprocesses.
+    local = ",".join(
+        str(shard_for_key(b"key-%04d" % i, 5)) for i in range(200)
+    )
+    assert local == outputs[0]
