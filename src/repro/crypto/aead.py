@@ -1,0 +1,223 @@
+"""Authenticated encryption (AEAD): the integrity rung above SHIELD's CTR.
+
+Three constructions, all exposing ``seal(plaintext, aad) -> ciphertext||tag``
+and ``open(sealed, aad) -> plaintext``:
+
+- :class:`ChaCha20Poly1305` -- RFC 8439, composed from the from-scratch
+  ChaCha20 and Poly1305 primitives; the reference AEAD, vector-pinned.
+- :class:`AesGcm` -- NIST SP 800-38D over the from-scratch AES.  GHASH uses
+  the straightforward bitwise GF(2^128) multiply: slow in Python, selectable
+  everywhere, correctness pinned by the NIST vectors.
+- :class:`ShakeEtm` -- encrypt-then-MAC over the SHAKE-CTR keystream with a
+  keyed BLAKE2b tag.  Both halves are single C-speed hashlib calls, so this
+  is the bulk AEAD the benchmarks and the AEAD-enabled test suite default
+  to, exactly as shake-ctr is the bulk stream cipher.
+
+Unlike the stream ciphers, AEAD units are not seekable: each sealed unit
+(an SST block, a WAL flush) carries its own 16-byte tag and must be opened
+whole.  Uniqueness of the (key, nonce) pair per unit is the caller's job --
+:func:`derive_nonce` folds a unit's file offset into the per-file base
+nonce, so distinct offsets within a file can never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.aes import AES
+from repro.crypto.chacha20 import ChaCha20Cipher, chacha20_block
+from repro.crypto.poly1305 import constant_time_equal, poly1305_mac
+from repro.crypto.xof import ShakeCtrCipher
+from repro.errors import AuthenticationError, EncryptionError
+
+TAG_SIZE = 16
+
+
+def derive_nonce(base: bytes, offset: int) -> bytes:
+    """Fold a unit's payload offset into a per-file base nonce.
+
+    The low 8 bytes of the base nonce are XORed with the little-endian
+    offset, so every distinct offset within one file yields a distinct
+    nonce under the same (fresh, random) per-file base.
+    """
+    if len(base) < 8:
+        raise EncryptionError("AEAD base nonce must be at least 8 bytes")
+    if offset < 0:
+        raise EncryptionError("AEAD unit offset must be non-negative")
+    head = base[:-8]
+    tail = int.from_bytes(base[-8:], "little") ^ (offset & (2 ** 64 - 1))
+    return head + tail.to_bytes(8, "little")
+
+
+def _le64(value: int) -> bytes:
+    return value.to_bytes(8, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return b"" if remainder == 0 else b"\x00" * (16 - remainder)
+
+
+class ChaCha20Poly1305:
+    """RFC 8439 AEAD_CHACHA20_POLY1305 (key 32 bytes, nonce 12 bytes)."""
+
+    key_size = 32
+    nonce_size = 12
+
+    def __init__(self, key: bytes, nonce: bytes):
+        if len(key) != self.key_size:
+            raise EncryptionError("chacha20-poly1305 key must be 32 bytes")
+        if len(nonce) != self.nonce_size:
+            raise EncryptionError("chacha20-poly1305 nonce must be 12 bytes")
+        self._key = key
+        self._nonce = nonce
+        self._stream = ChaCha20Cipher(key, nonce)
+
+    def _one_time_key(self) -> bytes:
+        return chacha20_block(self._key, 0, self._nonce)[:32]
+
+    def _tag(self, ciphertext: bytes, aad: bytes) -> bytes:
+        mac_data = (
+            aad + _pad16(aad)
+            + ciphertext + _pad16(ciphertext)
+            + _le64(len(aad)) + _le64(len(ciphertext))
+        )
+        return poly1305_mac(self._one_time_key(), mac_data)
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        # Encryption starts at block counter 1 (block 0 keys Poly1305),
+        # i.e. keystream offset 64 for the seekable cipher.
+        ciphertext = self._stream.xor_at(plaintext, 64)
+        return ciphertext + self._tag(ciphertext, aad)
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        if len(sealed) < TAG_SIZE:
+            raise AuthenticationError("sealed unit shorter than its tag")
+        ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+        if not constant_time_equal(self._tag(ciphertext, aad), tag):
+            raise AuthenticationError("chacha20-poly1305 tag mismatch")
+        return self._stream.xor_at(ciphertext, 64)
+
+
+_GCM_R = 0xE1 << 120  # x^128 + x^7 + x^2 + x + 1, bit-reflected
+
+
+def _ghash_mul(x: int, y: int) -> int:
+    """Multiply two GF(2^128) elements in GCM's bit-reflected convention."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _GCM_R
+        else:
+            v >>= 1
+    return z
+
+
+class AesGcm:
+    """NIST SP 800-38D AES-GCM (key 16/24/32 bytes, 96-bit IV)."""
+
+    key_size = 32
+    nonce_size = 12
+
+    def __init__(self, key: bytes, nonce: bytes):
+        if len(nonce) != self.nonce_size:
+            raise EncryptionError("aes-gcm nonce must be 12 bytes (96-bit IV)")
+        self._aes = AES(key)  # validates the key size
+        self._nonce = nonce
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    def _counter_block(self, counter: int) -> bytes:
+        return self._nonce + counter.to_bytes(4, "big")
+
+    def _ctr(self, data: bytes, initial_counter: int) -> bytes:
+        out = bytearray()
+        counter = initial_counter
+        for start in range(0, len(data), 16):
+            block = data[start:start + 16]
+            keystream = self._aes.encrypt_block(self._counter_block(counter))
+            out.extend(b ^ k for b, k in zip(block, keystream))
+            counter += 1
+        return bytes(out)
+
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
+        data = (
+            aad + _pad16(aad)
+            + ciphertext + _pad16(ciphertext)
+            + (8 * len(aad)).to_bytes(8, "big")
+            + (8 * len(ciphertext)).to_bytes(8, "big")
+        )
+        y = 0
+        for start in range(0, len(data), 16):
+            y = _ghash_mul(
+                y ^ int.from_bytes(data[start:start + 16], "big"), self._h
+            )
+        return y.to_bytes(16, "big")
+
+    def _tag(self, ciphertext: bytes, aad: bytes) -> bytes:
+        # Tag = E(K, J0) XOR GHASH; J0 = IV || 1 for 96-bit IVs.
+        pre = self._aes.encrypt_block(self._counter_block(1))
+        ghash = self._ghash(aad, ciphertext)
+        return bytes(p ^ g for p, g in zip(pre, ghash))
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        ciphertext = self._ctr(plaintext, 2)  # counters 2.. encrypt the data
+        return ciphertext + self._tag(ciphertext, aad)
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        if len(sealed) < TAG_SIZE:
+            raise AuthenticationError("sealed unit shorter than its tag")
+        ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+        if not constant_time_equal(self._tag(ciphertext, aad), tag):
+            raise AuthenticationError("aes-gcm tag mismatch")
+        return self._ctr(ciphertext, 2)
+
+
+class ShakeEtm:
+    """Encrypt-then-MAC: SHAKE-CTR keystream + keyed BLAKE2b tag.
+
+    The encryption and MAC subkeys are domain-separated derivations of the
+    unit key, both via single hashlib calls, giving AEAD at the same
+    C-speed cost profile as the shake-ctr stream cipher.  The tag covers
+    nonce, AAD, and ciphertext with unambiguous length framing.
+    """
+
+    key_size = 32
+    nonce_size = 16
+
+    def __init__(self, key: bytes, nonce: bytes):
+        if len(key) != self.key_size:
+            raise EncryptionError("shake-etm key must be 32 bytes")
+        if len(nonce) != self.nonce_size:
+            raise EncryptionError("shake-etm nonce must be 16 bytes")
+        enc_key = hashlib.blake2b(
+            b"", key=key, person=b"shield-etm-enc", digest_size=32
+        ).digest()
+        self._mac_key = hashlib.blake2b(
+            b"", key=key, person=b"shield-etm-mac", digest_size=32
+        ).digest()
+        self._nonce = nonce
+        self._stream = ShakeCtrCipher(enc_key, nonce)
+
+    def _tag(self, ciphertext: bytes, aad: bytes) -> bytes:
+        mac = hashlib.blake2b(key=self._mac_key, digest_size=TAG_SIZE)
+        mac.update(self._nonce)
+        mac.update(_le64(len(aad)))
+        mac.update(aad)
+        mac.update(_le64(len(ciphertext)))
+        mac.update(ciphertext)
+        return mac.digest()
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        ciphertext = self._stream.xor_at(plaintext, 0)
+        return ciphertext + self._tag(ciphertext, aad)
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        if len(sealed) < TAG_SIZE:
+            raise AuthenticationError("sealed unit shorter than its tag")
+        ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+        if not constant_time_equal(self._tag(ciphertext, aad), tag):
+            raise AuthenticationError("shake-etm tag mismatch")
+        return self._stream.xor_at(ciphertext, 0)

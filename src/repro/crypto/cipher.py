@@ -14,11 +14,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from repro.crypto.aead import AesGcm, ChaCha20Poly1305, ShakeEtm, TAG_SIZE
 from repro.crypto.aes import AES
 from repro.crypto.chacha20 import ChaCha20Cipher
 from repro.crypto.ctr import CtrCipher
 from repro.crypto.xof import ShakeCtrCipher
-from repro.errors import EncryptionError
+from repro.errors import AuthenticationError, EncryptionError
 from repro.obs import costs
 from repro.util.stats import StatsRegistry
 
@@ -37,6 +38,16 @@ class StreamCipher(Protocol):
         ...
 
 
+class AeadCipher(Protocol):
+    """One sealed unit's AEAD context: bound to a (key, nonce) pair."""
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        ...
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        ...
+
+
 @dataclass(frozen=True)
 class CipherSpec:
     """Static description of one encryption scheme."""
@@ -45,7 +56,11 @@ class CipherSpec:
     scheme_id: int
     key_size: int
     nonce_size: int
-    factory: Callable[[bytes, bytes], StreamCipher]
+    factory: Callable[[bytes, bytes], object]
+    #: AEAD schemes seal whole units (ciphertext grows by ``tag_size``)
+    #: instead of producing a seekable keystream.
+    aead: bool = False
+    tag_size: int = 0
 
 
 def _make_aes128(key: bytes, nonce: bytes) -> StreamCipher:
@@ -71,11 +86,34 @@ _register(CipherSpec("aes-128-ctr", 1, 16, 12, _make_aes128))
 _register(CipherSpec("aes-256-ctr", 2, 32, 12, _make_aes256))
 _register(CipherSpec("chacha20", 3, 32, 12, ChaCha20Cipher))
 _register(CipherSpec("shake-ctr", 4, 32, 16, ShakeCtrCipher))
+_register(CipherSpec("aes-256-gcm", 5, 32, 12, AesGcm,
+                     aead=True, tag_size=TAG_SIZE))
+_register(CipherSpec("chacha20-poly1305", 6, 32, 12, ChaCha20Poly1305,
+                     aead=True, tag_size=TAG_SIZE))
+_register(CipherSpec("shake-etm", 7, 32, 16, ShakeEtm,
+                     aead=True, tag_size=TAG_SIZE))
 
 
 def available_schemes() -> list[str]:
     """Names of every registered scheme."""
     return sorted(_SPECS)
+
+
+def is_aead(scheme: str | int) -> bool:
+    """Whether a scheme authenticates (tags) what it encrypts."""
+    return spec_for(scheme).aead
+
+
+def default_at_rest_scheme() -> str:
+    """The scheme providers use when none is chosen explicitly.
+
+    ``REPRO_AEAD=1`` in the environment flips the fleet-wide default from
+    the confidentiality-only bulk cipher to its authenticated counterpart
+    -- the switch the AEAD-enabled CI suite runs under.
+    """
+    if os.environ.get("REPRO_AEAD", "") not in ("", "0"):
+        return "shake-etm"
+    return "shake-ctr"
 
 
 def spec_for(scheme: str | int) -> CipherSpec:
@@ -139,9 +177,46 @@ class _MeteredCipher:
         return out
 
 
-def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
-    """Instantiate a cipher context (counted and timed as one init)."""
-    spec = spec_for(scheme)
+class _MeteredAead:
+    """Wrap an AEAD context so seal/open work and verdicts are counted.
+
+    ``crypto.auth_ok`` / ``crypto.auth_fail`` are the registry-level tag
+    verification counters the integrity gauges export; bulk time is charged
+    to the same ``encrypt`` cost class as the stream ciphers so AEAD
+    overhead shows up in the existing attribution.
+    """
+
+    def __init__(self, inner: AeadCipher):
+        self._inner = inner
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        start = time.perf_counter()
+        out = self._inner.seal(plaintext, aad)
+        elapsed = time.perf_counter() - start
+        CRYPTO_STATS.counter("crypto.bytes").add(len(plaintext))
+        CRYPTO_STATS.counter("crypto.ops").add(1)
+        CRYPTO_STATS.counter("crypto.seals").add(1)
+        CRYPTO_STATS.histogram("crypto.bulk_s").record(elapsed)
+        costs.charge("encrypt", elapsed, len(plaintext))
+        return out
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        start = time.perf_counter()
+        try:
+            out = self._inner.open(sealed, aad)
+        except AuthenticationError:
+            CRYPTO_STATS.counter("crypto.auth_fail").add(1)
+            raise
+        elapsed = time.perf_counter() - start
+        CRYPTO_STATS.counter("crypto.bytes").add(len(out))
+        CRYPTO_STATS.counter("crypto.ops").add(1)
+        CRYPTO_STATS.counter("crypto.auth_ok").add(1)
+        CRYPTO_STATS.histogram("crypto.bulk_s").record(elapsed)
+        costs.charge("encrypt", elapsed, len(out))
+        return out
+
+
+def _check_material(spec: CipherSpec, key: bytes, nonce: bytes) -> None:
     if len(key) != spec.key_size:
         raise EncryptionError(
             f"{spec.name} needs a {spec.key_size}-byte key, got {len(key)}"
@@ -150,6 +225,17 @@ def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
         raise EncryptionError(
             f"{spec.name} needs a {spec.nonce_size}-byte nonce, got {len(nonce)}"
         )
+
+
+def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
+    """Instantiate a stream-cipher context (counted and timed as one init)."""
+    spec = spec_for(scheme)
+    if spec.aead:
+        raise EncryptionError(
+            f"{spec.name} is an AEAD scheme: use create_aead (sealed units), "
+            "not the seekable stream-cipher interface"
+        )
+    _check_material(spec, key, nonce)
     start = time.perf_counter()
     context = spec.factory(key, nonce)
     elapsed = time.perf_counter() - start
@@ -157,3 +243,20 @@ def create_cipher(scheme: str | int, key: bytes, nonce: bytes) -> StreamCipher:
     CRYPTO_STATS.histogram("crypto.init_s").record(elapsed)
     costs.charge("encrypt_init", elapsed)
     return _MeteredCipher(context)
+
+
+def create_aead(scheme: str | int, key: bytes, nonce: bytes) -> _MeteredAead:
+    """Instantiate an AEAD context for one sealed unit (one counted init)."""
+    spec = spec_for(scheme)
+    if not spec.aead:
+        raise EncryptionError(
+            f"{spec.name} is a stream cipher, not an AEAD scheme"
+        )
+    _check_material(spec, key, nonce)
+    start = time.perf_counter()
+    context = spec.factory(key, nonce)
+    elapsed = time.perf_counter() - start
+    CRYPTO_STATS.counter("crypto.context_inits").add(1)
+    CRYPTO_STATS.histogram("crypto.init_s").record(elapsed)
+    costs.charge("encrypt_init", elapsed)
+    return _MeteredAead(context)

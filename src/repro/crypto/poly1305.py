@@ -1,0 +1,46 @@
+"""Poly1305 one-time authenticator (RFC 8439 Section 2.5), from scratch.
+
+Python's arbitrary-precision integers make the reference algorithm both
+short and reasonably fast: the 16-byte blocks are accumulated into one
+big-int evaluation of the message polynomial at ``r`` modulo 2^130 - 5.
+Correctness is pinned by the RFC 8439 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncryptionError
+
+KEY_SIZE = 32
+TAG_SIZE = 16
+
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under ``key``.
+
+    The key is one-time: it must never authenticate two different
+    messages.  AEAD constructions guarantee this by deriving it from the
+    (key, nonce) pair of each sealed unit.
+    """
+    if len(key) != KEY_SIZE:
+        raise EncryptionError(f"Poly1305 key must be {KEY_SIZE} bytes")
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for start in range(0, len(message), 16):
+        block = message[start:start + 16]
+        # Each block is interpreted little-endian with a high 0x01 byte
+        # appended, which encodes the block's length into the polynomial.
+        n = int.from_bytes(block, "little") + (1 << (8 * len(block)))
+        accumulator = ((accumulator + n) * r) % _P
+    tag = (accumulator + s) % (1 << 128)
+    return tag.to_bytes(16, "little")
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison for authentication tags."""
+    import hmac
+
+    return hmac.compare_digest(a, b)

@@ -84,6 +84,13 @@ class EncryptedEnv(Env):
 
     def __init__(self, inner: Env, key: bytes, scheme: str = "shake-ctr"):
         spec = spec_for(scheme)
+        if spec.aead:
+            raise EncryptionError(
+                f"{scheme} is an AEAD scheme; EncryptedEnv intercepts "
+                "arbitrary-offset reads and needs a length-preserving "
+                "seekable cipher (engine-level AEAD lives in the SST/WAL "
+                "formats instead)"
+            )
         if len(key) != spec.key_size:
             raise EncryptionError(
                 f"{scheme} needs a {spec.key_size}-byte key, got {len(key)}"

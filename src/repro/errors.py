@@ -9,6 +9,27 @@ class CorruptionError(ReproError):
     """Persistent data failed a checksum, magic-number, or format check."""
 
 
+class AuthenticationError(CorruptionError):
+    """An AEAD authentication tag did not verify.
+
+    Distinct from plain :class:`CorruptionError`: a failed checksum may be
+    an accident, a failed *tag* is cryptographic proof that the ciphertext
+    is not what this key sealed -- random device corruption or deliberate
+    tampering, either way the plaintext must never be released.  Readers
+    fail loudly instead of decrypting to garbage."""
+
+
+class RollbackError(ReproError):
+    """The store's content does not match the trusted freshness anchor.
+
+    Raised at ``DB.open`` when the Merkle root of the recovered SST set
+    disagrees with the root checkpointed to the trusted monotonic counter:
+    somebody restored an older (individually well-formed, correctly
+    authenticated) SST+MANIFEST snapshot.  Not a subclass of
+    :class:`CorruptionError` -- every byte checks out; it is the *state*
+    that is stale."""
+
+
 class NotFoundError(ReproError):
     """A requested key, file, or DEK does not exist."""
 

@@ -1,0 +1,39 @@
+"""SHIELD++ integrity: Merkle freshness anchors and trusted counters.
+
+Authenticated encryption (AEAD schemes in :mod:`repro.crypto.cipher`)
+makes every persisted byte tamper-evident, but tags alone cannot stop a
+*rollback*: an attacker who restores yesterday's individually-valid files
+presents a store that verifies perfectly.  This package adds the missing
+piece -- a Merkle root over the live SST set, checkpointed to a trusted
+monotonic counter the storage adversary cannot rewind, verified at every
+``DB`` open.
+"""
+
+from repro.integrity.counter import (
+    CounterState,
+    FileTrustedCounter,
+    MemoryTrustedCounter,
+    TrustedCounter,
+)
+from repro.integrity.freshness import (
+    FRESH,
+    INITIALIZED,
+    TORN_RECOVERED,
+    verify_and_advance,
+)
+from repro.integrity.merkle import EMPTY_ROOT, ROOT_SIZE, leaf_hash, merkle_root
+
+__all__ = [
+    "CounterState",
+    "EMPTY_ROOT",
+    "FileTrustedCounter",
+    "FRESH",
+    "INITIALIZED",
+    "MemoryTrustedCounter",
+    "ROOT_SIZE",
+    "TORN_RECOVERED",
+    "TrustedCounter",
+    "leaf_hash",
+    "merkle_root",
+    "verify_and_advance",
+]

@@ -1,0 +1,37 @@
+"""Open-time freshness verification against the trusted counter."""
+
+from __future__ import annotations
+
+from repro.errors import RollbackError
+from repro.integrity.counter import TrustedCounter
+
+#: Dispositions :func:`verify_and_advance` can return.
+FRESH = "fresh"
+INITIALIZED = "initialized"
+TORN_RECOVERED = "torn-recovered"
+
+
+def verify_and_advance(counter: TrustedCounter, root: bytes) -> str:
+    """Check a recovered store's Merkle ``root`` against ``counter``.
+
+    - counter never used -> bind it to this store (``initialized``);
+    - root matches the counter's current root -> ``fresh``;
+    - root matches the counter's *previous* root -> the last advance's
+      manifest write never landed (counter-first ordering's torn window);
+      re-advance to re-anchor and return ``torn-recovered``;
+    - anything else is a replayed old snapshot: ``RollbackError``.
+    """
+    state = counter.read()
+    if state is None:
+        counter.advance(root)
+        return INITIALIZED
+    if root == state.root:
+        return FRESH
+    if root == state.prev_root:
+        counter.advance(root)
+        return TORN_RECOVERED
+    raise RollbackError(
+        f"store root {root.hex()[:16]}... does not match trusted counter "
+        f"value {state.value} (root {state.root.hex()[:16]}...): the "
+        "on-storage state is older than the last trusted checkpoint"
+    )

@@ -40,3 +40,20 @@ def encrypt_chunked(
             lambda item: crypto.encrypt(item[1], item[0]), chunks
         )
         return b"".join(encrypted)
+
+
+def seal_units(
+    crypto: FileCrypto,
+    units: list[tuple[int, bytes, bytes]],
+    threads: int = 1,
+) -> list[bytes]:
+    """Seal independent AEAD units ``(sealed_offset, plaintext, aad)``.
+
+    The AEAD analogue of :func:`encrypt_chunked`: sealing adds a fixed-size
+    tag per unit, so every sealed offset is computable up front and units
+    seal independently -- the same parallelism compaction relies on.
+    """
+    if threads <= 1 or len(units) <= 1:
+        return [crypto.seal(data, offset, aad) for offset, data, aad in units]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(lambda u: crypto.seal(u[1], u[0], u[2]), units))

@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.env.base import Env
 from repro.env.mem import MemEnv
 from repro.errors import (
+    AuthenticationError,
     AuthorizationError,
     CorruptionError,
     InvalidArgumentError,
@@ -145,6 +146,12 @@ class DB:
         )
         self._table_cache: dict[int, SSTReader] = {}
         self._table_lock = threading.Lock()
+        # SST file numbers whose AEAD tag failed to verify.  Advisory, not
+        # blocking: reads keep trying (a transient device flip self-heals
+        # on the next good read, which clears the mark), but health()
+        # reports degraded and compaction refuses to consume the file
+        # until repair or a clean read resolves it.
+        self._quarantined: set[int] = set()
 
         from repro.util.clock import RealClock
 
@@ -161,7 +168,12 @@ class DB:
 
         self.env.mkdirs(path)
         self._versions = VersionSet(
-            self.env, path, self.provider, self.options.num_levels
+            self.env,
+            path,
+            self.provider,
+            self.options.num_levels,
+            trusted_counter=self.options.trusted_counter,
+            stats=self.stats,
         )
         self._recover()
 
@@ -175,6 +187,11 @@ class DB:
             self._versions.recover()
         elif not self.options.create_if_missing:
             raise InvalidArgumentError(f"database {self.path} does not exist")
+
+        # Freshness gate: the recovered file set must match (or be one torn
+        # transition behind) the trusted counter's anchor before anything
+        # here is believed.  Raises RollbackError on a replayed snapshot.
+        self._versions.verify_freshness()
 
         old_wals = self._find_wal_files()
         recovered = self._replay_wals(old_wals)
@@ -402,8 +419,15 @@ class DB:
         with self._mutex:
             closed = self._closed
             bg_error = self._bg_error
+            quarantined = sorted(self._quarantined)
         if closed:
             return {"state": HEALTH_FAILED, "reason": "closed", "error": None}
+        if quarantined:
+            return {
+                "state": HEALTH_DEGRADED,
+                "reason": "quarantined-sst",
+                "error": f"auth-failed SST files: {quarantined}",
+            }
         if bg_error is not None:
             state = (
                 HEALTH_DEGRADED
@@ -618,7 +642,8 @@ class DB:
         with self._mutex:
             if self._compaction_scheduled or self._closed:
                 return
-            if self._picker.pick(self._versions.current, self._compacting) is None:
+            busy = self._compacting | self._quarantined
+            if self._picker.pick(self._versions.current, busy) is None:
                 return
             self._compaction_scheduled = True
             self._schedule_bg(self._compaction_job)
@@ -626,7 +651,8 @@ class DB:
     def _compaction_job(self) -> None:
         with self._mutex:
             self._compaction_scheduled = False
-            job = self._picker.pick(self._versions.current, self._compacting)
+            busy = self._compacting | self._quarantined
+            job = self._picker.pick(self._versions.current, busy)
             if job is None:
                 return
             self._compacting |= job.input_numbers()
@@ -635,6 +661,12 @@ class DB:
                 self._apply_delete_only(job)
             else:
                 self._run_merge_compaction(job)
+        except AuthenticationError:
+            # A tampered input file must not poison the whole engine: the
+            # guard already quarantined it, the picker now refuses it, and
+            # health() reports degraded until repair (or a clean re-read)
+            # resolves the file.  The inputs stay live and readable.
+            self.stats.counter("integrity.compaction_auth_aborts").add(1)
         finally:
             with self._mutex:
                 self._compacting -= job.input_numbers()
@@ -721,11 +753,13 @@ class DB:
         ]
 
     def _merge_locally(self, job: CompactionJob) -> list[FileMetadata]:
-        readers = [
-            self._get_reader(meta) for __, meta in job.input_files()
-        ]
         merged = newest_visible(
-            merge_entries([reader.entries() for reader in readers]),
+            merge_entries(
+                [
+                    self._guarded_entries_from(meta, b"")
+                    for __, meta in job.input_files()
+                ]
+            ),
             keep_tombstones=not job.bottommost,
         )
 
@@ -790,6 +824,33 @@ class DB:
         with self._table_lock:
             return self._table_cache.setdefault(meta.number, reader)
 
+    def _guarded_entries_from(self, meta: FileMetadata, start: bytes):
+        """Stream a file's entries, attributing any auth failure to it."""
+        try:
+            reader = self._get_reader(meta)
+            yield from reader.entries_from(start)
+        except AuthenticationError:
+            self._quarantine_table(meta.number)
+            raise
+
+    def _quarantine_table(self, number: int) -> None:
+        """Mark an SST whose authentication tag failed, evict its reader."""
+        with self._table_lock:
+            self._table_cache.pop(number, None)
+        with self._mutex:
+            if number not in self._quarantined:
+                self._quarantined.add(number)
+                self.stats.counter("integrity.quarantines").add(1)
+
+    def _clear_quarantine(self, number: int) -> None:
+        """A clean authenticated read resolves a prior transient failure."""
+        with self._mutex:
+            self._quarantined.discard(number)
+
+    def quarantined_files(self) -> list[int]:
+        with self._mutex:
+            return sorted(self._quarantined)
+
     def _drop_table(self, meta: FileMetadata) -> None:
         """Forget a dead SST file: evict the reader, unlink, retire its DEK."""
         with self._table_lock:
@@ -827,6 +888,10 @@ class DB:
                     value = self._get_once(key, snapshot)
                     span.set_attribute("found", value is not None)
                     return value
+                except AuthenticationError:
+                    # A failed tag is tampering evidence, never a value to
+                    # retry toward: fail fast (the file is now quarantined).
+                    raise
                 except (
                     CorruptionError, IOError_, NotFoundError, KeyManagementError
                 ):
@@ -855,7 +920,13 @@ class DB:
             for __, meta in version.candidates_for_key(key):
                 if meta.smallest_seq > snapshot:
                     continue
-                result = self._get_reader(meta).get(key, snapshot)
+                try:
+                    result = self._get_reader(meta).get(key, snapshot)
+                except AuthenticationError:
+                    self._quarantine_table(meta.number)
+                    raise
+                if self._quarantined:
+                    self._clear_quarantine(meta.number)
                 if result is not None:
                     break
         if result is None:
@@ -880,6 +951,8 @@ class DB:
                     try:
                         results[key] = self._get_once(key, snapshot)
                         break
+                    except AuthenticationError:
+                        raise
                     except (
                         CorruptionError, IOError_, NotFoundError,
                         KeyManagementError,
@@ -906,6 +979,8 @@ class DB:
                     results = self._scan_once(start, end, limit, snapshot)
                     span.set_attribute("results", len(results))
                     return results
+                except AuthenticationError:
+                    raise
                 except (
                     CorruptionError, IOError_, NotFoundError, KeyManagementError
                 ):
@@ -930,7 +1005,7 @@ class DB:
                 continue
             if meta.largest < start:
                 continue
-            sources.append(self._get_reader(meta).entries_from(start))
+            sources.append(self._guarded_entries_from(meta, start))
 
         results: list[tuple[bytes, bytes]] = []
         merged = newest_visible(merge_entries(sources), snapshot_seq=snapshot)
@@ -1062,6 +1137,14 @@ class DB:
             snap["db.last_sequence"] = self._versions.last_sequence
             snap["db.live_files"] = self._versions.current.num_files()
             snap["db.total_sst_bytes"] = self._versions.current.total_size()
+            snap["integrity.quarantined_files"] = len(self._quarantined)
+        counter = self.options.trusted_counter
+        if counter is not None:
+            try:
+                state = counter.read()
+            except CorruptionError:
+                state = None
+            snap["integrity.counter_value"] = state.value if state else 0
         return snap
 
     def snapshot(self) -> int:

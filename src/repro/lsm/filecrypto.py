@@ -19,8 +19,10 @@ A :class:`CryptoProvider` decides the policy:
 
 from __future__ import annotations
 
+from repro.crypto.aead import derive_nonce
 from repro.crypto.cipher import (
     SCHEME_NONE,
+    create_aead,
     create_cipher,
     generate_nonce,
     spec_for,
@@ -31,6 +33,10 @@ from repro.lsm.envelope import Envelope
 
 class FileCrypto:
     """Per-file payload encryption; offset 0 is the first payload byte."""
+
+    #: Stream-cipher files have no per-unit tags.
+    is_aead = False
+    tag_size = 0
 
     def __init__(self, scheme_id: int, dek_id: str, key: bytes, nonce: bytes):
         self.scheme_id = scheme_id
@@ -57,6 +63,55 @@ class FileCrypto:
             dek_id=self.dek_id,
             nonce=self.nonce,
         )
+
+
+class AeadFileCrypto(FileCrypto):
+    """Per-file AEAD: the payload is a sequence of independently sealed units.
+
+    Each unit (an SST block, a WAL flush batch, the footer) is sealed under
+    a nonce derived from the per-file base nonce and the unit's payload
+    offset, so a unit cannot be relocated, swapped, or bit-flipped without
+    failing its tag.  Like the stream path, a fresh context per call mirrors
+    per-operation EVP initialization and keeps the object stateless for
+    multi-threaded sealing.
+    """
+
+    is_aead = True
+
+    def __init__(self, scheme_id: int, dek_id: str, key: bytes, nonce: bytes):
+        super().__init__(scheme_id, dek_id, key, nonce)
+        self.tag_size = spec_for(scheme_id).tag_size
+
+    def seal(self, data: bytes, offset: int, aad: bytes = b"") -> bytes:
+        context = create_aead(
+            self.scheme_id, self._key, derive_nonce(self.nonce, offset)
+        )
+        return context.seal(data, aad)
+
+    def open(self, data: bytes, offset: int, aad: bytes = b"") -> bytes:
+        context = create_aead(
+            self.scheme_id, self._key, derive_nonce(self.nonce, offset)
+        )
+        return context.open(data, aad)
+
+    def encrypt(self, data: bytes, offset: int) -> bytes:
+        raise EncryptionError(
+            "AEAD files are sealed per unit; the seekable stream interface "
+            "does not apply (use seal/open)"
+        )
+
+    decrypt = encrypt
+
+
+def make_file_crypto(
+    scheme_id: int, dek_id: str, key: bytes, nonce: bytes
+) -> FileCrypto:
+    """Build the right FileCrypto flavour for a scheme id."""
+    if scheme_id == SCHEME_NONE:
+        return NULL_CRYPTO
+    if spec_for(scheme_id).aead:
+        return AeadFileCrypto(scheme_id, dek_id, key, nonce)
+    return FileCrypto(scheme_id, dek_id, key, nonce)
 
 
 #: Shared no-op crypto for plaintext files.
@@ -113,7 +168,7 @@ class SingleKeyCryptoProvider(CryptoProvider):
         self.dek_id = dek_id
 
     def for_new_file(self, file_kind: int, path: str) -> FileCrypto:
-        return FileCrypto(
+        return make_file_crypto(
             self._scheme_id, self.dek_id, self._key, generate_nonce(self.scheme)
         )
 
@@ -125,4 +180,6 @@ class SingleKeyCryptoProvider(CryptoProvider):
                 f"{path} uses scheme {envelope.scheme_id}, provider has "
                 f"{self._scheme_id}"
             )
-        return FileCrypto(self._scheme_id, envelope.dek_id, self._key, envelope.nonce)
+        return make_file_crypto(
+            self._scheme_id, envelope.dek_id, self._key, envelope.nonce
+        )

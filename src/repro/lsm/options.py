@@ -31,6 +31,12 @@ class Options:
     clock: Optional[object] = None
     # Encryption seam; None means plaintext files.
     crypto_provider: Optional["CryptoProvider"] = None
+    # Freshness seam (SHIELD++): a repro.integrity.counter.TrustedCounter.
+    # When set, every manifest transition advances the counter with the
+    # Merkle root of the live SST set, and DB.open verifies the recovered
+    # store against it -- a replayed old snapshot fails with RollbackError.
+    # None (the default) keeps rollback protection off.
+    trusted_counter: Optional[object] = None
 
     create_if_missing: bool = True
     # Memtable switches to immutable at this size.

@@ -12,12 +12,19 @@ correct if fatter than the original; the next compactions re-shape it.
 from __future__ import annotations
 
 from repro.env.base import Env
-from repro.errors import RecoveryError
+from repro.errors import AuthenticationError, CorruptionError, RecoveryError
+from repro.integrity.merkle import merkle_root
 from repro.lsm.filecrypto import CryptoProvider, PlaintextCryptoProvider
 from repro.lsm.filename import parse_file_name
 from repro.lsm.options import Options
 from repro.lsm.sst import SSTReader
 from repro.lsm.version import FileMetadata, VersionEdit, VersionSet
+
+#: Suffix appended to files repair moves aside.  ``parse_file_name`` does
+#: not recognize the suffixed name, so quarantined files are invisible to
+#: every engine path (recovery, GC, reads) but kept on storage as
+#: forensic evidence instead of being destroyed.
+QUARANTINE_SUFFIX = ".quarantine"
 
 
 def repair_db(
@@ -28,13 +35,22 @@ def repair_db(
 ) -> int:
     """Rebuild CURRENT/MANIFEST from the SST files under ``path``.
 
-    Returns the number of recovered files.  Raises
+    Returns the number of recovered files.  An SST that fails its AEAD
+    tag (or is otherwise unreadable) is *quarantined* -- renamed aside
+    with :data:`QUARANTINE_SUFFIX` -- and the rebuild continues with the
+    rest; repair is the flow that must not abort on tampering.  Raises
     :class:`~repro.errors.RecoveryError` if no SST file could be read.
+
+    When ``options.trusted_counter`` is set, the counter is re-anchored
+    to the repaired file set: running repair is the operator's explicit
+    attestation of the surviving files, the one sanctioned way to move
+    the freshness anchor to a different store state.
     """
     provider = provider or PlaintextCryptoProvider()
     options = options or Options()
 
     recovered: list[FileMetadata] = []
+    quarantined: list[str] = []
     max_number = 0
     max_seq = 0
     for name in env.list_dir(path):
@@ -45,8 +61,10 @@ def repair_db(
         max_number = max(max_number, number)
         if kind != "sst":
             continue
-        reader = SSTReader(env, f"{path}/{name}", provider, options)
+        file_path = f"{path}/{name}"
+        reader = None
         try:
+            reader = SSTReader(env, file_path, provider, options)
             smallest = bytes.fromhex(reader.properties["smallest_key"])
             largest = bytes.fromhex(reader.properties["largest_key"])
             entries = list(reader.entries())
@@ -55,7 +73,7 @@ def repair_db(
             recovered.append(
                 FileMetadata(
                     number=number,
-                    size=env.file_size(f"{path}/{name}"),
+                    size=env.file_size(file_path),
                     smallest=smallest,
                     largest=largest,
                     smallest_seq=smallest_seq,
@@ -65,8 +83,15 @@ def repair_db(
                 )
             )
             max_seq = max(max_seq, largest_seq)
+        except (AuthenticationError, CorruptionError):
+            if reader is not None:
+                reader.close()
+                reader = None
+            env.rename_file(file_path, file_path + QUARANTINE_SUFFIX)
+            quarantined.append(name)
         finally:
-            reader.close()
+            if reader is not None:
+                reader.close()
 
     if not recovered:
         raise RecoveryError(f"no readable SST files under {path}")
@@ -78,6 +103,10 @@ def repair_db(
     for meta in recovered:
         edit.add_file(0, meta)
     versions.current = versions.current.apply(edit)
+    counter = options.trusted_counter
+    if counter is not None:
+        # Counter-first, like every manifest transition.
+        counter.advance(merkle_root(versions.current))
     versions.create_manifest()
     versions.close()
     return len(recovered)

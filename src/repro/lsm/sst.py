@@ -34,7 +34,7 @@ from repro.lsm.block import (
     wrap_block,
 )
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.chunked import encrypt_chunked
+from repro.lsm.chunked import encrypt_chunked, seal_units
 from repro.lsm.dbformat import MAX_SEQUENCE
 from repro.lsm.envelope import (
     FILE_KIND_SST,
@@ -59,6 +59,18 @@ from repro.util.lru import LRUCache
 
 FOOTER_SIZE = 56
 SST_MAGIC = 0x5354_4C44_4549_4853  # "SHIELDLS" as little-endian-ish tag
+#: Format v2 (AEAD): every unit is independently sealed and tagged; the
+#: footer's offsets/sizes refer to *sealed* units (tag included).  A file's
+#: format version is decided by its envelope scheme -- AEAD schemes write
+#: v2, stream/plaintext schemes write v1 byte-identically to before.
+SST_MAGIC_V2 = 0x5354_4C44_4549_4832  # "2HIELDLS"
+
+#: Role AADs binding each metadata unit to its purpose (defense in depth on
+#: top of the offset-derived nonces that already pin every unit in place).
+_AAD_BLOOM = b"sst-bloom"
+_AAD_INDEX = b"sst-index"
+_AAD_PROPS = b"sst-props"
+_AAD_FOOTER = b"sst-footer"
 
 
 @dataclass
@@ -130,28 +142,17 @@ class SSTBuilder:
     def estimated_size(self) -> int:
         return self._payload_bytes + len(self._current)
 
-    def finish(self) -> SSTFileInfo:
-        """Assemble, encrypt, and persist the file; return its metadata."""
-        if self._finished:
-            raise InvalidArgumentError("SSTBuilder.finish called twice")
-        if self.num_entries == 0:
-            raise InvalidArgumentError("cannot finish an empty SST file")
-        self._finished = True
-        self._finish_block()
-
-        bloom = BloomFilter.build(self._keys, self._options.bloom_bits_per_key)
-        bloom_block = bloom.encode()
-        bloom_offset = self._payload_bytes
-
-        index_parts = [encode_varint64(len(self._index))]
-        for last_key, offset, size, crc in self._index:
+    @staticmethod
+    def _encode_index_block(index: list[tuple[bytes, int, int, int]]) -> bytes:
+        index_parts = [encode_varint64(len(index))]
+        for last_key, offset, size, crc in index:
             index_parts.append(encode_length_prefixed(last_key))
             index_parts.append(encode_varint64(offset))
             index_parts.append(encode_varint64(size))
             index_parts.append(encode_fixed32(crc))
-        index_block = b"".join(index_parts)
-        index_offset = bloom_offset + len(bloom_block)
+        return b"".join(index_parts)
 
+    def _encode_props_block(self) -> bytes:
         properties = {
             "num_entries": str(self.num_entries),
             "smallest_key": self._smallest_key.hex(),
@@ -164,27 +165,101 @@ class SSTBuilder:
         for prop_key in sorted(properties):
             props_parts.append(encode_length_prefixed(prop_key.encode()))
             props_parts.append(encode_length_prefixed(properties[prop_key].encode()))
-        props_block = b"".join(props_parts)
-        props_offset = index_offset + len(index_block)
+        return b"".join(props_parts)
 
-        footer = (
+    @staticmethod
+    def _encode_footer(
+        index_offset: int, index_size: int,
+        bloom_offset: int, bloom_size: int,
+        props_offset: int, props_size: int,
+        magic: int,
+    ) -> bytes:
+        return (
             encode_fixed64(index_offset)
-            + encode_fixed64(len(index_block))
+            + encode_fixed64(index_size)
             + encode_fixed64(bloom_offset)
-            + encode_fixed64(len(bloom_block))
+            + encode_fixed64(bloom_size)
             + encode_fixed64(props_offset)
-            + encode_fixed64(len(props_block))
-            + encode_fixed64(SST_MAGIC)
+            + encode_fixed64(props_size)
+            + encode_fixed64(magic)
+        )
+
+    def _assemble_v1(self, bloom_block: bytes, props_block: bytes) -> bytes:
+        bloom_offset = self._payload_bytes
+        index_block = self._encode_index_block(self._index)
+        index_offset = bloom_offset + len(bloom_block)
+        props_offset = index_offset + len(index_block)
+        footer = self._encode_footer(
+            index_offset, len(index_block),
+            bloom_offset, len(bloom_block),
+            props_offset, len(props_block),
+            SST_MAGIC,
         )
         payload = b"".join(self._blocks) + bloom_block + index_block \
             + props_block + footer
-
-        encrypted = encrypt_chunked(
+        return encrypt_chunked(
             self._crypto,
             payload,
             self._options.encryption_chunk_size,
             self._options.encryption_threads,
         )
+
+    def _assemble_v2(self, bloom_block: bytes, props_block: bytes) -> bytes:
+        """Seal every unit independently: format v2, AEAD schemes only.
+
+        Sealing is length-preserving plus a fixed tag per unit, so every
+        sealed offset is computable before any sealing happens and data
+        blocks seal in parallel.  The index and footer record *sealed*
+        offsets/sizes; the plaintext CRC per data block is kept unchanged
+        (it is verified after ``open`` as a cheap decode sanity check --
+        the tag, not the CRC, is the integrity boundary).
+        """
+        tag = self._crypto.tag_size
+        sealed_index: list[tuple[bytes, int, int, int]] = []
+        offset = 0
+        for last_key, _, size, crc in self._index:
+            sealed_index.append((last_key, offset, size + tag, crc))
+            offset += size + tag
+        bloom_offset = offset
+        index_block = self._encode_index_block(sealed_index)
+        index_offset = bloom_offset + len(bloom_block) + tag
+        props_offset = index_offset + len(index_block) + tag
+        footer_offset = props_offset + len(props_block) + tag
+        footer = self._encode_footer(
+            index_offset, len(index_block) + tag,
+            bloom_offset, len(bloom_block) + tag,
+            props_offset, len(props_block) + tag,
+            SST_MAGIC_V2,
+        )
+        units = [
+            (entry[1], block, b"")
+            for entry, block in zip(sealed_index, self._blocks)
+        ]
+        units.append((bloom_offset, bloom_block, _AAD_BLOOM))
+        units.append((index_offset, index_block, _AAD_INDEX))
+        units.append((props_offset, props_block, _AAD_PROPS))
+        units.append((footer_offset, footer, _AAD_FOOTER))
+        return b"".join(
+            seal_units(self._crypto, units, self._options.encryption_threads)
+        )
+
+    def finish(self) -> SSTFileInfo:
+        """Assemble, encrypt, and persist the file; return its metadata."""
+        if self._finished:
+            raise InvalidArgumentError("SSTBuilder.finish called twice")
+        if self.num_entries == 0:
+            raise InvalidArgumentError("cannot finish an empty SST file")
+        self._finished = True
+        self._finish_block()
+
+        bloom = BloomFilter.build(self._keys, self._options.bloom_bits_per_key)
+        bloom_block = bloom.encode()
+        props_block = self._encode_props_block()
+
+        if self._crypto.is_aead:
+            encrypted = self._assemble_v2(bloom_block, props_block)
+        else:
+            encrypted = self._assemble_v1(bloom_block, props_block)
         header = self._crypto.envelope(FILE_KIND_SST).encode()
         with self._env.new_writable_file(self.path) as handle:
             handle.append(header)
@@ -224,11 +299,12 @@ class SSTReader:
         self._crypto = provider.for_existing_file(self.envelope, path)
         self._payload_base = self.envelope.header_size
         payload_size = file_size - self._payload_base
-        if payload_size < FOOTER_SIZE:
+        footer_len = FOOTER_SIZE + self._crypto.tag_size
+        if payload_size < footer_len:
             raise CorruptionError(f"{path}: file too small for an SST footer")
 
-        footer_offset = payload_size - FOOTER_SIZE
-        footer = self._read_payload(footer_offset, FOOTER_SIZE)
+        footer_offset = payload_size - footer_len
+        footer = self._read_payload(footer_offset, footer_len, _AAD_FOOTER)
         index_offset, pos = decode_fixed64(footer, 0)
         index_size, pos = decode_fixed64(footer, pos)
         bloom_offset, pos = decode_fixed64(footer, pos)
@@ -236,24 +312,33 @@ class SSTReader:
         props_offset, pos = decode_fixed64(footer, pos)
         props_size, pos = decode_fixed64(footer, pos)
         magic, pos = decode_fixed64(footer, pos)
-        if magic != SST_MAGIC:
+        expected_magic = SST_MAGIC_V2 if self._crypto.is_aead else SST_MAGIC
+        if magic != expected_magic:
             raise CorruptionError(f"{path}: bad SST magic (wrong key or corrupt)")
 
-        self._index = self._parse_index(self._read_payload(index_offset, index_size))
+        self._index = self._parse_index(
+            self._read_payload(index_offset, index_size, _AAD_INDEX)
+        )
         self._index_keys = [entry[0] for entry in self._index]
-        self.bloom = BloomFilter.decode(self._read_payload(bloom_offset, bloom_size))
+        self.bloom = BloomFilter.decode(
+            self._read_payload(bloom_offset, bloom_size, _AAD_BLOOM)
+        )
         self.properties = self._parse_props(
-            self._read_payload(props_offset, props_size)
+            self._read_payload(props_offset, props_size, _AAD_PROPS)
         )
         try:
             self.num_entries = int(self.properties.get("num_entries", "0"))
         except ValueError as exc:
             raise CorruptionError(f"{path}: corrupt num_entries property: {exc}")
 
-    def _read_payload(self, offset: int, length: int) -> bytes:
+    def _read_payload(self, offset: int, length: int, aad: bytes = b"") -> bytes:
         raw = self._file.read(self._payload_base + offset, length)
         if len(raw) != length:
             raise CorruptionError(f"{self.path}: short read at {offset}")
+        if self._crypto.is_aead:
+            # A whole sealed unit; open() authenticates before returning
+            # plaintext (raises AuthenticationError on any flipped bit).
+            return self._crypto.open(raw, offset, aad)
         return self._crypto.decrypt(raw, offset)
 
     def _parse_index(self, buf: bytes) -> list[tuple[bytes, int, int, int]]:

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 from repro.env.base import Env
 from repro.errors import CorruptionError, RecoveryError
+from repro.integrity.freshness import verify_and_advance
+from repro.integrity.merkle import merkle_root
 from repro.lsm.envelope import FILE_KIND_MANIFEST
 from repro.lsm.filecrypto import CryptoProvider
 from repro.lsm.filename import current_path, manifest_path
@@ -35,6 +37,14 @@ SP_MANIFEST_BEFORE_CURRENT = SYNC.declare(
 SP_MANIFEST_AFTER_CURRENT = SYNC.declare(
     "manifest:after_current_swap",
     "CURRENT names the new MANIFEST, old one not yet deleted",
+)
+SP_COUNTER_BEFORE_PERSIST = SYNC.declare(
+    "counter:before_persist",
+    "new Merkle root computed, trusted counter not yet advanced",
+)
+SP_COUNTER_AFTER_PERSIST = SYNC.declare(
+    "counter:after_persist",
+    "trusted counter one step ahead, manifest record not yet written",
 )
 
 _TAG_LOG_NUMBER = 1
@@ -263,6 +273,8 @@ class VersionSet:
         dbname: str,
         provider: CryptoProvider,
         num_levels: int,
+        trusted_counter=None,
+        stats=None,
     ):
         self._env = env
         self._dbname = dbname
@@ -274,6 +286,9 @@ class VersionSet:
         self._manifest: WALWriter | None = None
         self._manifest_number = 0
         self._manifest_dek_id = ""
+        self._trusted_counter = trusted_counter
+        self._stats = stats
+        self._last_root: bytes | None = None
 
     # -- counters -----------------------------------------------------------
 
@@ -331,9 +346,50 @@ class VersionSet:
         edit.next_file_number = self.next_file_number
         if self._manifest is None:
             raise RecoveryError("MANIFEST is not open")
+        next_version = self.current.apply(edit)
+        # Counter-first ordering: the trusted counter learns the new root
+        # BEFORE the manifest record lands.  A crash between the two leaves
+        # the counter one step ahead -- the recoverable direction (the
+        # counter's prev_root still matches storage).  The opposite order
+        # would make every such crash look like a rollback.
+        self._advance_freshness(next_version)
         self._manifest.add_record(edit.encode())
         self._manifest.sync()
-        self.current = self.current.apply(edit)
+        self.current = next_version
+
+    # -- freshness ----------------------------------------------------------
+
+    def _advance_freshness(self, version: Version) -> None:
+        if self._trusted_counter is None:
+            return
+        root = merkle_root(version)
+        if root == self._last_root:
+            return  # edit did not change the live file set
+        SYNC.process(SP_COUNTER_BEFORE_PERSIST)
+        self._trusted_counter.advance(root)
+        SYNC.process(SP_COUNTER_AFTER_PERSIST)
+        self._last_root = root
+        if self._stats is not None:
+            self._stats.counter("integrity.freshness_advances").add(1)
+
+    def verify_freshness(self) -> str | None:
+        """Open-time check of the recovered state against the counter.
+
+        Returns the disposition (``fresh`` / ``initialized`` /
+        ``torn-recovered``), None when no counter is configured, and
+        raises ``RollbackError`` when storage is older than the counter's
+        anchor.
+        """
+        if self._trusted_counter is None:
+            return None
+        root = merkle_root(self.current)
+        disposition = verify_and_advance(self._trusted_counter, root)
+        self._last_root = root
+        if self._stats is not None:
+            self._stats.counter("integrity.freshness_checks").add(1)
+            if disposition == "torn-recovered":
+                self._stats.counter("integrity.torn_recoveries").add(1)
+        return disposition
 
     def recover(self) -> None:
         """Rebuild state by replaying the MANIFEST named in CURRENT."""

@@ -18,6 +18,14 @@ Two encryption granularities, selected by ``buffer_size``:
   and are encrypted *once* per buffer flush (SHIELD's WAL optimization,
   Section 5.3).  Records still in the buffer are lost if the process
   crashes; whatever reaches storage is always encrypted and whole.
+
+AEAD schemes switch the file to format v2: each write unit (one frame
+unbuffered, one buffer flush buffered) becomes an independently sealed
+unit framed as ``sealed_len fixed32 | ciphertext+tag``, with the unit's
+nonce derived from its payload offset.  Replay stops silently at a torn
+(incomplete) trailing unit, exactly like v1's torn-tail tolerance -- but a
+*complete* unit whose tag fails to verify is tampering, not a crash
+artifact, and raises ``AuthenticationError``.
 """
 
 from __future__ import annotations
@@ -86,11 +94,21 @@ class WALWriter:
                 if len(self._buffer) >= self.buffer_size:
                     self.flush_buffer()
             else:
-                encrypted = self._crypto.encrypt(frame, self._payload_offset)
-                self._file.append(encrypted)
-                self._payload_offset += len(frame)
+                self._append_unit(frame)
                 if self.sync_writes:
                     self._file.sync()
+
+    def _append_unit(self, chunk: bytes) -> None:
+        """Persist one write unit at the current payload offset."""
+        if self._crypto.is_aead:
+            # Format v2: the unit's nonce derives from the offset of its
+            # ciphertext (just past the fixed32 length prefix).
+            sealed = self._crypto.seal(chunk, self._payload_offset + 4)
+            self._file.append(encode_fixed32(len(sealed)) + sealed)
+            self._payload_offset += 4 + len(sealed)
+        else:
+            self._file.append(self._crypto.encrypt(chunk, self._payload_offset))
+            self._payload_offset += len(chunk)
 
     def flush_buffer(self) -> None:
         """Encrypt and persist everything currently buffered (one context)."""
@@ -100,9 +118,7 @@ class WALWriter:
             chunk = bytes(self._buffer)
             span.set_attribute("nbytes", len(chunk))
             self._buffer.clear()
-            encrypted = self._crypto.encrypt(chunk, self._payload_offset)
-            self._file.append(encrypted)
-            self._payload_offset += len(chunk)
+            self._append_unit(chunk)
             self.buffer_flushes += 1
             if self.sync_writes:
                 self._file.sync()
@@ -141,8 +157,15 @@ def read_wal_records(env: Env, path: str, provider: CryptoProvider) -> list[byte
         # synced; an unreadable head means an empty (torn) log, not failure.
         return []
     crypto = provider.for_existing_file(envelope, path)
-    payload = crypto.decrypt(bytes(raw[envelope.header_size:]), 0)
+    body = bytes(raw[envelope.header_size:])
+    if crypto.is_aead:
+        return _replay_sealed_units(crypto, body)
+    records, _ = _parse_frames(crypto.decrypt(body, 0))
+    return records
 
+
+def _parse_frames(payload: bytes) -> tuple[list[bytes], bool]:
+    """Parse a run of frames; returns (records, whole payload consumed)."""
     records: list[bytes] = []
     offset = 0
     total = len(payload)
@@ -161,4 +184,30 @@ def read_wal_records(env: Env, path: str, provider: CryptoProvider) -> list[byte
             break  # corrupt record: stop replay here
         records.append(body)
         offset = pos + length
+    return records, offset == total
+
+
+def _replay_sealed_units(crypto: FileCrypto, raw_payload: bytes) -> list[bytes]:
+    """Replay format-v2 sealed units.
+
+    An incomplete trailing unit is a torn write and ends replay silently,
+    like v1.  A *complete* unit with a bad tag cannot come from a crash
+    (storage appends are all-or-nothing per unit once the length prefix is
+    whole), so it propagates as ``AuthenticationError``.
+    """
+    records: list[bytes] = []
+    offset = 0
+    total = len(raw_payload)
+    while offset < total:
+        if offset + 4 > total:
+            break  # torn length prefix
+        sealed_len, pos = decode_fixed32(raw_payload, offset)
+        if pos + sealed_len > total:
+            break  # torn unit body
+        unit = crypto.open(raw_payload[pos:pos + sealed_len], pos)
+        unit_records, consumed = _parse_frames(unit)
+        records.extend(unit_records)
+        if not consumed:
+            break  # authenticated but malformed framing: stop replay
+        offset = pos + sealed_len
     return records

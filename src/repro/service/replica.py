@@ -116,10 +116,19 @@ class ReplicationSource:
 
 
 def _make_stream_crypto(key_client) -> tuple[FileCrypto, bytes]:
-    """A fresh per-stream DEK, or plaintext when the engine has no keys."""
+    """A fresh per-stream DEK, or plaintext when the engine has no keys.
+
+    Replication frames are a CRC-framed sequential stream decrypted at a
+    running offset, so the stream always uses a seekable cipher even when
+    the at-rest default is an AEAD scheme (the frames are transient, not
+    at-rest; at-rest tags are applied when the replica persists).
+    """
     if key_client is None:
         return NULL_CRYPTO, b""
-    dek = key_client.new_dek()
+    scheme = getattr(key_client, "default_scheme", None)
+    if scheme is None or spec_for(scheme).aead:
+        scheme = "shake-ctr"
+    dek = key_client.new_dek(scheme)
     nonce = generate_nonce(dek.scheme)
     return (
         FileCrypto(spec_for(dek.scheme).scheme_id, dek.dek_id, dek.key, nonce),

@@ -503,9 +503,11 @@ class KVServer:
 
         Sections: ``server`` (queue/latency/backpressure), ``engine``
         (counters, block cache, tree shape), ``crypto`` (context inits,
-        bytes, init-vs-bulk seconds), ``keyclient`` (KDS round-trips and
-        cache hits), ``replication`` (per-replica stream position and lag
-        derived from the position gauges), plus ``committed_sequence``.
+        bytes, init-vs-bulk seconds), ``integrity`` (tag verification
+        totals, quarantines, freshness checks, trusted-counter value),
+        ``keyclient`` (KDS round-trips and cache hits), ``replication``
+        (per-replica stream position and lag derived from the position
+        gauges), plus ``committed_sequence``.
         """
         if hasattr(self.db, "stats_snapshot"):
             engine = self.db.stats_snapshot()
@@ -526,10 +528,22 @@ class KVServer:
                     "position": value,
                     "lag": max(0, committed - value),
                 }
+        crypto = CRYPTO_STATS.snapshot()
+        # The SHIELD++ integrity gauges: registry-level tag verification
+        # totals plus whatever integrity.* counters the engine exported
+        # (quarantines, freshness checks/advances, trusted-counter value).
+        integrity = {
+            "integrity.auth_ok_total": crypto.get("crypto.auth_ok", 0),
+            "integrity.auth_fail_total": crypto.get("crypto.auth_fail", 0),
+        }
+        for name, value in engine.items():
+            if name.startswith("integrity."):
+                integrity[name] = value
         out = {
             "server": server,
             "engine": engine,
-            "crypto": CRYPTO_STATS.snapshot(),
+            "crypto": crypto,
+            "integrity": integrity,
             "replication": replication,
             "committed_sequence": committed,
             "health": self._health_dict(),

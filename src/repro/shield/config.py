@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.crypto.cipher import default_at_rest_scheme
 from repro.keys.cache import SecureDEKCache
 from repro.keys.client import KeyClient
 from repro.keys.kds import KeyDistributionService
@@ -22,7 +23,9 @@ class ShieldOptions:
 
     kds: KeyDistributionService
     server_id: str = "server-1"
-    scheme: str = "shake-ctr"
+    #: None picks the fleet default scheme: shake-ctr, or the shake-etm
+    #: AEAD under REPRO_AEAD=1 (how the AEAD CI job flips the suite).
+    scheme: Optional[str] = None
     dek_cache: Optional[SecureDEKCache] = None
     wal_buffer_size: int = DEFAULT_WAL_BUFFER
     encryption_chunk_size: int = 64 * 1024
@@ -33,6 +36,13 @@ class ShieldOptions:
     #: Retry transient KDS failures and trip a circuit breaker on outages
     #: (see repro.keys.resilience); the chaos harness turns this on.
     resilient: bool = False
+    #: SHIELD++ freshness anchor (repro.integrity.counter.TrustedCounter);
+    #: None keeps rollback protection off.
+    trusted_counter: Optional[object] = None
+
+    def __post_init__(self):
+        if self.scheme is None:
+            self.scheme = default_at_rest_scheme()
 
     def build_key_client(self) -> KeyClient:
         if self.resilient:
@@ -75,4 +85,6 @@ def open_shield_db(
     options.wal_buffer_size = shield.wal_buffer_size
     options.encryption_chunk_size = shield.encryption_chunk_size
     options.encryption_threads = shield.encryption_threads
+    if shield.trusted_counter is not None:
+        options.trusted_counter = shield.trusted_counter
     return DB(path, options)

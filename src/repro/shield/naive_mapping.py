@@ -19,7 +19,12 @@ from repro.errors import KeyManagementError, NotFoundError
 from repro.keys.dek import DEK
 from repro.keys.kds import SimulatedKDS
 from repro.lsm.envelope import Envelope
-from repro.lsm.filecrypto import CryptoProvider, FileCrypto, NULL_CRYPTO
+from repro.lsm.filecrypto import (
+    CryptoProvider,
+    FileCrypto,
+    NULL_CRYPTO,
+    make_file_crypto,
+)
 
 
 class MappingKDS(SimulatedKDS):
@@ -85,7 +90,7 @@ class MappingCryptoProvider(CryptoProvider):
         dek = self.kds.provision(self.server_id, self.scheme)
         self.kds.register_file(self.server_id, path, dek.dek_id)
         self.extra_round_trips += 1  # the register call
-        return FileCrypto(
+        return make_file_crypto(
             spec_for(dek.scheme).scheme_id,
             dek.dek_id,
             dek.key,
@@ -97,7 +102,9 @@ class MappingCryptoProvider(CryptoProvider):
             return NULL_CRYPTO
         dek = self.kds.resolve_file(self.server_id, path)
         self.extra_round_trips += 1  # the resolve call
-        return FileCrypto(envelope.scheme_id, dek.dek_id, dek.key, envelope.nonce)
+        return make_file_crypto(
+            envelope.scheme_id, dek.dek_id, dek.key, envelope.nonce
+        )
 
     def on_file_deleted(self, dek_id: str, path: str) -> None:
         if dek_id:

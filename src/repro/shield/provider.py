@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.crypto.cipher import generate_nonce, spec_for
+from repro.crypto.cipher import default_at_rest_scheme, generate_nonce, spec_for
 from repro.keys.client import KeyClient
 from repro.lsm.envelope import (
     Envelope,
@@ -10,7 +10,12 @@ from repro.lsm.envelope import (
     FILE_KIND_SST,
     FILE_KIND_WAL,
 )
-from repro.lsm.filecrypto import CryptoProvider, FileCrypto, NULL_CRYPTO
+from repro.lsm.filecrypto import (
+    CryptoProvider,
+    FileCrypto,
+    NULL_CRYPTO,
+    make_file_crypto,
+)
 from repro.util.syncpoint import SYNC
 
 SP_DEK_BEFORE_RETIRE = SYNC.declare(
@@ -38,11 +43,14 @@ class ShieldCryptoProvider(CryptoProvider):
     def __init__(
         self,
         key_client: KeyClient,
-        scheme: str = "shake-ctr",
+        scheme: str | None = None,
         encrypt_wal: bool = True,
         encrypt_sst: bool = True,
         encrypt_manifest: bool = True,
     ):
+        # None picks the fleet default: shake-ctr, or shake-etm (AEAD)
+        # under REPRO_AEAD=1 -- how the AEAD CI suite flips every test.
+        scheme = scheme or default_at_rest_scheme()
         spec_for(scheme)  # validate early
         self.key_client = key_client
         self.scheme = scheme
@@ -59,7 +67,7 @@ class ShieldCryptoProvider(CryptoProvider):
             return NULL_CRYPTO
         dek = self.key_client.new_dek(self.scheme)
         self.deks_provisioned += 1
-        return FileCrypto(
+        return make_file_crypto(
             spec_for(dek.scheme).scheme_id,
             dek.dek_id,
             dek.key,
@@ -70,7 +78,9 @@ class ShieldCryptoProvider(CryptoProvider):
         if not envelope.encrypted:
             return NULL_CRYPTO
         dek = self.key_client.get_dek(envelope.dek_id)
-        return FileCrypto(envelope.scheme_id, dek.dek_id, dek.key, envelope.nonce)
+        return make_file_crypto(
+            envelope.scheme_id, dek.dek_id, dek.key, envelope.nonce
+        )
 
     def on_file_deleted(self, dek_id: str, path: str) -> None:
         if not dek_id:

@@ -73,6 +73,7 @@ import time
 from repro.env.faulty import FaultInjectionEnv
 from repro.env.local import LocalEnv
 from repro.env.mem import MemEnv
+from repro.integrity.counter import MemoryTrustedCounter
 from repro.errors import ReproError
 from repro.keys.faulty import FaultyKDS
 from repro.keys.kds import InMemoryKDS
@@ -127,7 +128,17 @@ def _crash_point_trial(point: str, seed: int = 0) -> dict:
     snapshot, and check the invariants.  Returns a result dict."""
     mem = MemEnv()
     kds = InMemoryKDS()
-    shield = ShieldOptions(kds=kds, server_id="crash-matrix", wal_buffer_size=256)
+    # The trusted counter rides along so the crash matrix also covers the
+    # SHIELD++ freshness protocol (including the counter:* torn-update
+    # points); a real counter survives the crash, so it is forked at the
+    # kill instant like the env and the KDS.
+    counter = MemoryTrustedCounter()
+    shield = ShieldOptions(
+        kds=kds,
+        server_id="crash-matrix",
+        wal_buffer_size=256,
+        trusted_counter=counter,
+    )
 
     # Expected state.  Phase 2 only writes *fresh* keys (and re-deletes
     # already-dead ones), so a write acked after the callback copied this
@@ -169,8 +180,9 @@ def _crash_point_trial(point: str, seed: int = 0) -> dict:
             expected = dict(state)
             dead = set(deleted)
             env_fork = mem.fork(durable_only=True)
+            counter_fork = counter.fork()
             kds_fork = kds.fork()
-            capture["snap"] = (expected, dead, env_fork, kds_fork)
+            capture["snap"] = (expected, dead, env_fork, kds_fork, counter_fork)
         raise _ChaosKill(f"injected crash at {point}")
 
     SYNC.clear()
@@ -234,15 +246,22 @@ def _crash_point_trial(point: str, seed: int = 0) -> dict:
         return result
     result["captured"] = True
 
-    expected, dead, env_fork, kds_fork = capture["snap"]
-    result.update(_verify_recovery(env_fork, kds_fork, expected, dead))
+    expected, dead, env_fork, kds_fork, counter_fork = capture["snap"]
+    result.update(
+        _verify_recovery(env_fork, kds_fork, expected, dead, counter_fork)
+    )
     return result
 
 
-def _verify_recovery(env_fork, kds_fork, expected, dead) -> dict:
+def _verify_recovery(
+    env_fork, kds_fork, expected, dead, counter_fork=None
+) -> dict:
     """Open the crash-instant snapshot and check every invariant."""
     shield = ShieldOptions(
-        kds=kds_fork, server_id="crash-recovery", wal_buffer_size=256
+        kds=kds_fork,
+        server_id="crash-recovery",
+        wal_buffer_size=256,
+        trusted_counter=counter_fork,
     )
     lost = []
     resurrected = []

@@ -33,8 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print entries (needs a readable file)")
     parser.add_argument("--limit", type=int, default=20)
     parser.add_argument("--key", help="hex DEK for encrypted files")
-    parser.add_argument("--scheme", default="shake-ctr",
-                        help="cipher scheme for --key")
+    parser.add_argument("--scheme", default=None,
+                        help="cipher scheme for --key (default: the scheme "
+                        "named by the file's own envelope)")
     return parser
 
 
@@ -58,11 +59,11 @@ def main(argv: list[str] | None = None) -> int:
         print("\n(encrypted; pass --key to read properties/entries)")
         return 0
 
-    provider = (
-        SingleKeyCryptoProvider(args.scheme, bytes.fromhex(args.key))
-        if args.key
-        else PlaintextCryptoProvider()
-    )
+    if args.key and envelope.encrypted:
+        scheme = args.scheme or scheme_name(envelope.scheme_id)
+        provider = SingleKeyCryptoProvider(scheme, bytes.fromhex(args.key))
+    else:
+        provider = PlaintextCryptoProvider()
     reader = SSTReader(env, args.path, provider, Options())
     try:
         print("\nproperties:")

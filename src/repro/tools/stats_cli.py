@@ -14,8 +14,10 @@ Examples::
 
 The server's OP_STATS response is a merged snapshot -- ``server``
 (queue/latency), ``engine`` (DB counters, block cache, tree shape),
-``crypto`` (init-vs-bulk cipher cost), ``keyclient`` (KDS round-trips),
-and ``replication`` (per-replica position and lag).  ``render`` is a
+``crypto`` (init-vs-bulk cipher cost), ``integrity`` (AEAD tag
+verifications/failures, quarantines, freshness checks, trusted-counter
+value), ``keyclient`` (KDS round-trips), and ``replication``
+(per-replica position and lag).  ``render`` is a
 pure function over such dictionaries so it is testable without sockets.
 """
 
@@ -27,7 +29,7 @@ import sys
 import time
 
 #: Sections rendered in this order when present.
-SECTIONS = ("server", "engine", "crypto", "keyclient")
+SECTIONS = ("server", "engine", "crypto", "integrity", "keyclient")
 
 #: Flat-key suffixes that are distribution statistics, not counters --
 #: showing a per-second rate for these would be meaningless.

@@ -1,0 +1,264 @@
+"""Adversarial integrity tests: the SHIELD++ guarantees, end to end.
+
+Every test here plays the Section-3 storage adversary against a live
+database opened through ``open_shield_db`` with an AEAD scheme and checks
+the promised failure mode: tampering raises ``AuthenticationError`` (never
+a silently wrong value), snapshot replay raises ``RollbackError``, and
+repair quarantines rather than aborts.
+"""
+
+import pytest
+
+from repro.env.mem import MemEnv
+from repro.errors import AuthenticationError, RollbackError
+from repro.keys.kds import InMemoryKDS
+from repro.lsm.envelope import MAX_ENVELOPE_SIZE, decode_envelope
+from repro.lsm.options import Options
+from repro.lsm.repair import QUARANTINE_SUFFIX, repair_db
+from repro.shield import ShieldOptions, open_shield_db
+from repro.integrity import MemoryTrustedCounter
+
+_AEAD_SCHEME = "shake-etm"  # the fast AEAD; GCM/Poly1305 are covered in unit tests
+
+
+def _options(env):
+    # A roomy write buffer keeps each explicit flush() to exactly one SST
+    # (and no surprise auto-flushes), so tests can target files precisely.
+    return Options(env=env, write_buffer_size=64 * 1024, block_size=512)
+
+
+def _shield(kds, counter=None, wal_buffer_size=None):
+    kwargs = {"kds": kds, "scheme": _AEAD_SCHEME}
+    if counter is not None:
+        kwargs["trusted_counter"] = counter
+    if wal_buffer_size is not None:
+        kwargs["wal_buffer_size"] = wal_buffer_size
+    return ShieldOptions(**kwargs)
+
+
+def _flip_payload_byte(env, path, skew=0.5):
+    """Flip one bit inside the encrypted payload (never the envelope)."""
+    raw = bytearray(env.read_file(path))
+    envelope = decode_envelope(bytes(raw[:MAX_ENVELOPE_SIZE]))
+    position = envelope.header_size + int(
+        (len(raw) - envelope.header_size) * skew
+    )
+    raw[position] ^= 0x01
+    env.write_file(path, bytes(raw))
+    return bytes(raw)
+
+
+def _sst_paths(env, dbname):
+    return sorted(
+        f"{dbname}/{name}"
+        for name in env.list_dir(dbname)
+        if name.endswith(".sst")
+    )
+
+
+def test_sst_bit_flip_raises_never_lies():
+    """A flipped ciphertext bit surfaces as AuthenticationError on read --
+    the engine must never return a silently wrong value."""
+    env = MemEnv()
+    db = open_shield_db("/adv", _shield(InMemoryKDS()), _options(env))
+    try:
+        for i in range(200):
+            db.put(b"key-%04d" % i, b"value-%04d" % i)
+        db.flush()
+        (sst_path,) = _sst_paths(env, "/adv")[:1]
+        original = env.read_file(sst_path)
+        _flip_payload_byte(env, sst_path)
+
+        with pytest.raises(AuthenticationError):
+            for i in range(200):
+                got = db.get(b"key-%04d" % i)
+                assert got in (None, b"value-%04d" % i)  # no wrong values
+
+        # The failure is surfaced operationally, not just as an exception.
+        health = db.health()
+        assert health["state"] == "degraded"
+        assert health["reason"] == "quarantined-sst"
+        assert db.stats_snapshot()["integrity.quarantines"] >= 1
+
+        # Quarantine is advisory: restoring the bytes self-heals.
+        env.write_file(sst_path, original)
+        assert db.get(b"key-0000") == b"value-0000"
+        assert db.health()["state"] == "healthy"
+    finally:
+        db.close()
+
+
+def test_sst_bit_flip_fails_scans_too():
+    env = MemEnv()
+    db = open_shield_db("/adv", _shield(InMemoryKDS()), _options(env))
+    try:
+        for i in range(200):
+            db.put(b"key-%04d" % i, b"value-%04d" % i)
+        db.flush()
+        _flip_payload_byte(env, _sst_paths(env, "/adv")[0])
+        with pytest.raises(AuthenticationError):
+            list(db.scan(b"key-0000", b"key-9999"))
+    finally:
+        db.close()
+
+
+def test_wal_bit_flip_fails_recovery():
+    """Tampering with a complete WAL unit must fail replay loudly; it must
+    not be mistaken for an honest torn tail."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    db = open_shield_db("/adv", _shield(kds, wal_buffer_size=0), _options(env))
+    for i in range(20):
+        db.put(b"key-%04d" % i, b"value-%04d" % i)
+    db.simulate_crash()
+
+    wal_path = next(
+        f"/adv/{name}" for name in env.list_dir("/adv") if name.endswith(".log")
+    )
+    _flip_payload_byte(env, wal_path, skew=0.25)
+    with pytest.raises(AuthenticationError):
+        open_shield_db("/adv", _shield(kds), _options(env))
+
+
+def test_wal_torn_tail_still_recovers():
+    """Contrast with the bit flip: an honest torn tail (truncated final
+    unit) replays everything before it and opens cleanly."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    db = open_shield_db("/adv", _shield(kds, wal_buffer_size=0), _options(env))
+    for i in range(20):
+        db.put(b"key-%04d" % i, b"value-%04d" % i)
+    db.simulate_crash()
+
+    wal_path = next(
+        f"/adv/{name}" for name in env.list_dir("/adv") if name.endswith(".log")
+    )
+    raw = env.read_file(wal_path)
+    env.write_file(wal_path, raw[: len(raw) - 5])  # tear the last unit
+    recovered = open_shield_db("/adv", _shield(kds), _options(env))
+    try:
+        assert recovered.get(b"key-0000") == b"value-0000"
+    finally:
+        recovered.close()
+
+
+def test_snapshot_replay_raises_rollback():
+    """Restoring an old-but-authentic storage snapshot fails DB.open with
+    RollbackError once the trusted counter has moved on."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    counter = MemoryTrustedCounter()
+    db = open_shield_db("/adv", _shield(kds, counter=counter), _options(env))
+    for i in range(100):
+        db.put(b"key-%04d" % i, b"old-%04d" % i)
+    db.flush()
+    db.close()
+
+    snapshot = env.fork(durable_only=False)  # the adversary's stolen image
+    kds_snapshot = kds.fork()
+
+    # Life goes on: two more flush cycles, so the snapshot's root is
+    # neither the counter's current root nor its one-step torn window.
+    db = open_shield_db("/adv", _shield(kds, counter=counter), _options(env))
+    for round_ in range(2):
+        for i in range(100):
+            db.put(b"key-%04d" % i, b"new-%d-%04d" % (round_, i))
+        db.flush()
+    db.close()
+
+    with pytest.raises(RollbackError):
+        open_shield_db(
+            "/adv", _shield(kds_snapshot, counter=counter), _options(snapshot)
+        )
+
+
+def test_fresh_reopen_is_not_a_rollback():
+    """The freshness check must not fire on an honest close/reopen."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    counter = MemoryTrustedCounter()
+    db = open_shield_db("/adv", _shield(kds, counter=counter), _options(env))
+    for i in range(100):
+        db.put(b"key-%04d" % i, b"value-%04d" % i)
+    db.flush()
+    db.close()
+    reopened = open_shield_db("/adv", _shield(kds, counter=counter), _options(env))
+    try:
+        assert reopened.get(b"key-0000") == b"value-0000"
+        assert reopened.stats_snapshot()["integrity.freshness_checks"] >= 1
+    finally:
+        reopened.close()
+
+
+def test_repair_quarantines_tampered_sst():
+    """repair_db moves an auth-failed SST aside and rebuilds from the
+    rest instead of aborting the whole repair."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    shield = _shield(kds)
+    db = open_shield_db("/adv", shield, _options(env))
+    for i in range(200):
+        db.put(b"a-%04d" % i, b"va-%04d" % i)
+    db.flush()
+    for i in range(200):
+        db.put(b"b-%04d" % i, b"vb-%04d" % i)
+    db.flush()
+    db.close()
+
+    ssts = _sst_paths(env, "/adv")
+    assert len(ssts) >= 2
+    _flip_payload_byte(env, ssts[0])
+
+    provider = shield.build_provider()
+    recovered = repair_db(env, "/adv", provider=provider)
+    assert recovered == len(ssts) - 1
+    assert env.file_exists(ssts[0] + QUARANTINE_SUFFIX)
+    assert not env.file_exists(ssts[0])
+
+    reopened = open_shield_db("/adv", shield, _options(env))
+    try:
+        survivors = sum(
+            reopened.get(b"a-%04d" % i) is not None for i in range(200)
+        ) + sum(reopened.get(b"b-%04d" % i) is not None for i in range(200))
+        assert survivors >= 200  # everything outside the tampered file
+    finally:
+        reopened.close()
+
+
+def test_repair_reanchors_trusted_counter():
+    """Running repair is the operator's attestation: the counter is
+    re-anchored to the repaired set, so the next open is fresh, and the
+    pre-repair image remains rejected."""
+    env = MemEnv()
+    kds = InMemoryKDS()
+    counter = MemoryTrustedCounter()
+    shield = _shield(kds, counter=counter)
+    db = open_shield_db("/adv", shield, _options(env))
+    for i in range(200):
+        db.put(b"key-%04d" % i, b"value-%04d" % i)
+    db.flush()
+    for i in range(200):
+        db.put(b"other-%04d" % i, b"value-%04d" % i)
+    db.flush()
+    db.close()
+    pre_repair = env.fork(durable_only=False)
+    pre_repair_kds = kds.fork()  # repair retires DEKs; the image needs its own
+
+    ssts = _sst_paths(env, "/adv")
+    _flip_payload_byte(env, ssts[0])
+    repair_options = _options(env)
+    repair_options.trusted_counter = counter
+    repair_db(env, "/adv", provider=shield.build_provider(), options=repair_options)
+    reopened = open_shield_db("/adv", shield, _options(env))
+    # One more flush pushes the pre-repair root past the one-transition
+    # torn-update window; the stolen image must now read as a rollback.
+    reopened.put(b"post-repair", b"value")
+    reopened.flush()
+    reopened.close()
+
+    with pytest.raises(RollbackError):
+        open_shield_db(
+            "/adv",
+            _shield(pre_repair_kds, counter=counter),
+            _options(pre_repair),
+        )

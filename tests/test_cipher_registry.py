@@ -23,6 +23,9 @@ def test_all_schemes_registered():
         "aes-256-ctr",
         "chacha20",
         "shake-ctr",
+        "aes-256-gcm",
+        "chacha20-poly1305",
+        "shake-etm",
     }
 
 

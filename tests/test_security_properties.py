@@ -86,6 +86,41 @@ def test_scenario2_unauthorized_user_with_fs_access():
         db.close()
 
 
+def _attacker_recover(env, path: str, dek_key: bytes) -> bytes:
+    """Everything an attacker holding one DEK can recover from one file.
+
+    Stream-cipher schemes XOR the raw payload directly.  AEAD schemes have
+    no seekable keystream -- the attacker's best move is to replay the SST
+    reader with the stolen key, which either opens every sealed unit (the
+    DEK's own file) or dies on the first tag check (any other file).
+    """
+    from repro.crypto.cipher import create_cipher, spec_for
+    from repro.errors import CorruptionError
+    from repro.lsm.filecrypto import make_file_crypto
+    from repro.lsm.sst import SSTReader
+
+    raw = env.read_file(path)
+    envelope = decode_envelope(raw[:MAX_ENVELOPE_SIZE])
+    if not spec_for(envelope.scheme_id).aead:
+        return create_cipher(envelope.scheme_id, dek_key, envelope.nonce).xor_at(
+            bytes(raw[envelope.header_size:]), 0
+        )
+
+    class _StolenKeyProvider:
+        def for_existing_file(self, envl, _path):
+            return make_file_crypto(envl.scheme_id, envl.dek_id, dek_key, envl.nonce)
+
+    reader = None
+    try:
+        reader = SSTReader(env, path, _StolenKeyProvider(), _options(env))
+        return b"".join(entry[-1] for entry in reader.entries())
+    except CorruptionError:  # includes AuthenticationError: wrong key
+        return b""
+    finally:
+        if reader is not None:
+            reader.close()
+
+
 def test_scenario3_dek_compromise_blast_radius():
     """A leaked DEK decrypts exactly one file; after compaction it decrypts
     nothing that still exists."""
@@ -99,25 +134,13 @@ def test_scenario3_dek_compromise_blast_radius():
         stolen_dek = kds.fetch("attacker", stolen.dek_id)
 
         # The stolen DEK decrypts its own file...
-        from repro.crypto.cipher import create_cipher
-
         own_path = f"/sec/{stolen.file_number:06d}.sst"
-        own_raw = env.read_file(own_path)
-        own_env = decode_envelope(own_raw[:MAX_ENVELOPE_SIZE])
-        plaintext = create_cipher(
-            own_env.scheme_id, stolen_dek.key, own_env.nonce
-        ).xor_at(bytes(own_raw[own_env.header_size:]), 0)
-        assert _SECRET in plaintext
+        assert _SECRET in _attacker_recover(env, own_path, stolen_dek.key)
 
         # ...but no other file.
         for record in inventory[1:]:
             other_path = f"/sec/{record.file_number:06d}.sst"
-            other_raw = env.read_file(other_path)
-            other_env = decode_envelope(other_raw[:MAX_ENVELOPE_SIZE])
-            garbage = create_cipher(
-                other_env.scheme_id, stolen_dek.key, other_env.nonce
-            ).xor_at(bytes(other_raw[other_env.header_size:]), 0)
-            assert _SECRET not in garbage
+            assert _SECRET not in _attacker_recover(env, other_path, stolen_dek.key)
 
         # After compaction the compromised DEK is retired and its file gone.
         db.force_compaction()
