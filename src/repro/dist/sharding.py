@@ -252,6 +252,23 @@ class ShardedDB:
                 totals[name] = totals.get(name, 0) + value
         return totals
 
+    def obs_dict(self) -> dict:
+        """Merged ``obs`` section: summed/worst-of signals across shards
+        plus a per-policy controller summary (see repro.obs.signals)."""
+        from repro.obs.controller import merge_controller_states
+        from repro.obs.signals import merge_signals
+
+        parts = [shard.obs_dict() for shard in self.shards]
+        out = {
+            "signals": merge_signals([p.get("signals", {}) for p in parts])
+        }
+        controllers = merge_controller_states(
+            [p.get("controller", {}) for p in parts]
+        )
+        if controllers:
+            out["controller"] = controllers
+        return out
+
     def close(self) -> None:
         """Close every shard; idempotent, and closes the rest even if one
         shard's close raises (the first error is re-raised at the end)."""

@@ -1,19 +1,41 @@
-"""Compaction pickers for the three policies the paper evaluates
-(Figure 15): leveled, universal (tiered), and FIFO.
+"""Compaction, decomposed along the design-space axes of Sarkar et al.
+("Constructing and Analyzing the LSM Compaction Design Space", VLDB'21):
+
+- **Trigger** -- *when* is compaction needed, and how urgently (level-0
+  file count, per-level size scores, sorted-run count, byte budgets,
+  FIFO size/TTL caps)?
+- **Data layout** -- *which* files form a job and where do outputs land
+  (leveled spans with overlap pull-in, tiered run windows, the hybrid
+  lazy-leveling shape)?
+- **Granularity** -- *how much* data moves per job (everything eligible,
+  or partial compactions bounded by ``max_compaction_bytes``)?
+- **Data movement** -- *how* the data moves (merge + rewrite, delete-only
+  expiry, or metadata-only trivial moves)?
+
+A picker is a composition of those components; the classic policies the
+paper evaluates (Figure 15) -- leveled, universal (tiered), FIFO -- plus
+lazy-leveling are each one configuration of :class:`ComposedPicker`.  The
+adaptive controller (``repro.obs.controller``) swaps configurations at
+runtime by watching the derived signals.
 
 A picker inspects a Version and proposes a :class:`CompactionJob`; the DB
 executes the merge and applies the resulting VersionEdit.  SHIELD's DEK
 rotation rides on compaction: every output file gets a fresh DEK from the
 crypto provider and every input file's DEK is retired with it
-(Section 5.2, "Embedding DEK-Handling Practices").
+(Section 5.2, "Embedding DEK-Handling Practices").  The one exception is
+a *trivial move* (``allow_trivial_move``), which relinks a file without
+rewriting it -- fast, but it postpones that file's DEK rotation, the
+explicit trade the movement dimension exposes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.lsm.options import (
     COMPACTION_FIFO,
+    COMPACTION_LAZY_LEVELED,
     COMPACTION_LEVELED,
     COMPACTION_UNIVERSAL,
     Options,
@@ -26,13 +48,16 @@ class CompactionJob:
     """A unit of background compaction work.
 
     ``inputs`` maps level -> files consumed.  ``output_level`` is where
-    merged files land.  ``delete_only`` marks FIFO expiry (no merging).
+    merged files land.  ``delete_only`` marks FIFO expiry (no merging);
+    ``trivial_move`` marks a metadata-only relink (no rewriting, no DEK
+    rotation).
     """
 
     inputs: dict[int, list[FileMetadata]] = field(default_factory=dict)
     output_level: int = 0
     delete_only: bool = False
     bottommost: bool = False
+    trivial_move: bool = False
 
     def input_files(self) -> list[tuple[int, FileMetadata]]:
         return [
@@ -46,6 +71,16 @@ class CompactionJob:
 
     def total_input_bytes(self) -> int:
         return sum(meta.size for __, meta in self.input_files())
+
+
+@dataclass
+class CompactionContext:
+    """Everything a picker component may consult for one decision."""
+
+    version: Version
+    compacting: set[int]
+    options: Options
+    now: float = 0.0
 
 
 def _key_span(files: list[FileMetadata]) -> tuple[bytes, bytes]:
@@ -64,56 +99,182 @@ def _is_bottommost(version: Version, output_level: int, begin, end) -> bool:
     return True
 
 
-class CompactionPicker:
-    """Interface: propose a job, or None if the tree is in shape."""
+# ----------------------------------------------------------------------
+# Trigger: when does the tree need work, and how urgently?
+# ----------------------------------------------------------------------
 
-    def __init__(self, options: Options):
-        self.options = options
 
-    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+class Trigger:
+    """Scores the tree; ``fire`` returns (score, level) when score >= 1,
+    else None.  Higher scores are more urgent; the picker takes the
+    highest-scoring rule (first rule wins ties)."""
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
         raise NotImplementedError
 
 
-class LeveledPicker(CompactionPicker):
-    """RocksDB-style leveled compaction: L0 count score, size scores above."""
+class L0CountTrigger(Trigger):
+    """Leveled L0: file count against the compaction trigger."""
 
-    def _level_target(self, level: int) -> int:
-        base = self.options.max_bytes_for_level_base
-        return base * self.options.fanout ** (level - 1)
-
-    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
-        best_level, best_score = -1, 1.0
-        level0_count = len(
-            [m for m in version.levels[0] if m.number not in compacting]
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        count = len(
+            [m for m in ctx.version.levels[0] if m.number not in ctx.compacting]
         )
-        score = level0_count / self.options.level0_file_num_compaction_trigger
-        if score >= 1.0:
-            best_level, best_score = 0, score
-        for level in range(1, len(version.levels) - 1):
+        score = count / ctx.options.level0_file_num_compaction_trigger
+        return (score, 0) if score >= 1.0 else None
+
+
+class LevelSizeTrigger(Trigger):
+    """Leveled L1+: level size against its geometric target; returns the
+    worst level."""
+
+    @staticmethod
+    def level_target(options: Options, level: int) -> int:
+        base = options.max_bytes_for_level_base
+        return base * options.fanout ** (level - 1)
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        best: tuple[float, int] | None = None
+        for level in range(1, len(ctx.version.levels) - 1):
             size = sum(
                 meta.size
-                for meta in version.levels[level]
-                if meta.number not in compacting
+                for meta in ctx.version.levels[level]
+                if meta.number not in ctx.compacting
             )
-            score = size / self._level_target(level)
-            if score > best_score:
-                best_level, best_score = level, score
-        if best_level < 0:
-            return None
-        return self._build_job(version, best_level, compacting)
+            score = size / self.level_target(ctx.options, level)
+            if score > 1.0 and (best is None or score > best[0]):
+                best = (score, level)
+        return best
 
-    def _build_job(
-        self, version: Version, level: int, compacting: set[int]
+
+class RunCountTrigger(Trigger):
+    """Tiered: sorted-run count against the run cap."""
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        runs = len(ctx.version.levels[0])
+        cap = ctx.options.universal_max_sorted_runs
+        if runs <= cap:
+            return None
+        return (runs / cap, 0)
+
+
+class L0BytesTrigger(Trigger):
+    """Lazy-leveling spill: total L0 bytes against the L1 byte budget --
+    when the tiered upper area outgrows it, everything spills into the
+    leveled bottom."""
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        total = sum(meta.size for meta in ctx.version.levels[0])
+        score = total / ctx.options.max_bytes_for_level_base
+        return (score, 0) if score >= 1.0 else None
+
+
+class FIFOTTLTrigger(Trigger):
+    """FIFO expiry: any file older than the TTL fires at maximal urgency."""
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        ttl = ctx.options.fifo_ttl_seconds
+        if ttl <= 0:
+            return None
+        expired = [
+            meta
+            for meta in ctx.version.levels[0]
+            if meta.number not in ctx.compacting
+            and meta.created_at
+            and ctx.now - meta.created_at > ttl
+        ]
+        return (math.inf, 0) if expired else None
+
+
+class FIFOSizeTrigger(Trigger):
+    """FIFO retention: total size against the table-files cap."""
+
+    def fire(self, ctx: CompactionContext) -> tuple[float, int] | None:
+        total = sum(
+            meta.size
+            for meta in ctx.version.levels[0]
+            if meta.number not in ctx.compacting
+        )
+        score = total / ctx.options.fifo_max_table_files_size
+        return (score, 0) if score > 1.0 else None
+
+
+# ----------------------------------------------------------------------
+# Granularity: how much moves per job?
+# ----------------------------------------------------------------------
+
+
+class Granularity:
+    """Bounds the base file set a layout feeds into one job."""
+
+    def trim(
+        self, files: list[FileMetadata], ctx: CompactionContext
+    ) -> list[FileMetadata]:
+        raise NotImplementedError
+
+
+class FullGranularity(Granularity):
+    """Move everything the layout selected (classic behaviour)."""
+
+    def trim(self, files, ctx):
+        return files
+
+
+class PartialGranularity(Granularity):
+    """Partial compaction: cap the job's base bytes at
+    ``max_compaction_bytes`` (0 = unlimited), keeping a prefix of the
+    given priority order (oldest-first for leveled bases, newest-first
+    for tiered windows).  Pulled-in output-level overlap rides on top of
+    the cap -- the bound is on what the trigger chose to move, not the
+    collateral."""
+
+    def trim(self, files, ctx):
+        budget = ctx.options.max_compaction_bytes
+        if budget <= 0 or not files:
+            return files
+        kept: list[FileMetadata] = []
+        total = 0
+        for meta in files:
+            if kept and total + meta.size > budget:
+                break
+            kept.append(meta)
+            total += meta.size
+        return kept
+
+
+# ----------------------------------------------------------------------
+# Data layout: which files form the job, and where do outputs land?
+# ----------------------------------------------------------------------
+
+
+class Layout:
+    """Builds a job for the triggered level, or None if blocked (e.g. an
+    in-flight compaction holds a file the job must include)."""
+
+    def build(
+        self, ctx: CompactionContext, level: int, granularity: Granularity
     ) -> CompactionJob | None:
+        raise NotImplementedError
+
+
+class LeveledLayout(Layout):
+    """RocksDB-style leveled: base files merge one level down, pulling in
+    every overlapping file at the output level."""
+
+    def build(self, ctx, level, granularity):
+        version, compacting = ctx.version, ctx.compacting
         if level == 0:
-            # All L0 files merge together (they may overlap each other); if
-            # any is already being compacted we must wait, or the outputs
-            # would overlap the in-flight job's outputs.
+            # L0 files may overlap each other; an in-flight job holding any
+            # of them forces a wait, or outputs would overlap its outputs.
             if any(meta.number in compacting for meta in version.levels[0]):
                 return None
             base_files = list(version.levels[0])
             if not base_files:
                 return None
+            # Partial L0 compaction keeps the *oldest* files (newest stay
+            # in L0 and keep shadowing the moved data -- the read path
+            # searches L0 newest-first, so correctness is preserved).
+            base_files = granularity.trim(list(reversed(base_files)), ctx)
         else:
             candidates = [
                 meta
@@ -124,63 +285,65 @@ class LeveledPicker(CompactionPicker):
                 return None
             # Oldest file first approximates RocksDB's compaction cursor.
             base_files = [min(candidates, key=lambda m: m.number)]
-        output_level = level + 1
-        begin, end = _key_span(base_files)
-        overlap = version.overlapping_files(output_level, begin, end)
-        # Never drop a busy overlapping file from the input set -- that
-        # would produce overlapping files at the output level.  Wait instead.
-        if any(meta.number in compacting for meta in overlap):
+        return build_leveled_job(version, level, base_files, compacting)
+
+
+class LazySpillLayout(Layout):
+    """Lazy-leveling spill: every L0 run merges into the leveled bottom
+    area at L1 (with its overlap), emptying the tiered upper area."""
+
+    def build(self, ctx, level, granularity):
+        version, compacting = ctx.version, ctx.compacting
+        if any(meta.number in compacting for meta in version.levels[0]):
             return None
-        inputs = {level: base_files}
-        if overlap:
-            inputs[output_level] = overlap
-            begin = min(begin, min(m.smallest for m in overlap))
-            end = max(end, max(m.largest for m in overlap))
-        return CompactionJob(
-            inputs=inputs,
-            output_level=output_level,
-            bottommost=_is_bottommost(version, output_level, begin, end),
-        )
+        base_files = list(version.levels[0])
+        if not base_files:
+            return None
+        base_files = granularity.trim(list(reversed(base_files)), ctx)
+        return build_leveled_job(version, 0, base_files, compacting)
 
 
-class UniversalPicker(CompactionPicker):
-    """Tiered compaction: every file is a sorted run in level 0; when the
-    run count exceeds the threshold, runs merge (fewer, larger I/Os -- the
-    contrast the paper draws against leveled).
+class TieredLayout(Layout):
+    """Universal/tiered: sorted runs in L0 merge into one bigger run.
 
     Two merge policies:
 
-    - ``universal_size_ratio is None`` (default): merge *all* runs into one.
+    - ``universal_size_ratio is None`` (default): merge *all* runs.
     - otherwise: RocksDB-style size-ratio merging -- walk runs newest to
-      oldest, extending the candidate window while the next (older) run is
-      no larger than ``(100 + ratio)%`` of the window's accumulated size;
-      merge the window (at least ``min_merge_width`` runs, else fall back
-      to enough newest runs to get back under the run-count cap).
+      oldest, extending the candidate window while the next (older) run
+      is no larger than ``(100 + ratio)%`` of the window's accumulated
+      size; merge the window (at least ``min_merge_width`` runs, else
+      fall back to enough newest runs to get back under the run cap).
     """
 
-    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
-        if any(meta.number in compacting for meta in version.levels[0]):
+    def build(self, ctx, level, granularity):
+        version, options = ctx.version, ctx.options
+        if any(meta.number in ctx.compacting for meta in version.levels[0]):
             return None  # overlapping-output hazard: wait for the running job
         runs = list(version.levels[0])
-        if len(runs) <= self.options.universal_max_sorted_runs:
+        if len(runs) < options.universal_min_merge_width:
             return None
-        if len(runs) < self.options.universal_min_merge_width:
-            return None
-        if self.options.universal_size_ratio is None:
+        if options.universal_size_ratio is None:
             window = runs
         else:
-            window = self._size_ratio_window(runs)
+            window = self._size_ratio_window(runs, options)
+        window = granularity.trim(window, ctx)
+        if len(window) < 2:
+            return None  # a single-run "merge" would spin forever
         return CompactionJob(
             inputs={0: window},
             output_level=0,
-            bottommost=len(window) == len(version.levels[0]),
+            bottommost=len(window) == len(version.levels[0])
+            and not any(version.levels[1:]),
         )
 
-    def _size_ratio_window(self, runs: list[FileMetadata]) -> list[FileMetadata]:
+    def _size_ratio_window(
+        self, runs: list[FileMetadata], options: Options
+    ) -> list[FileMetadata]:
         # L0 is ordered newest first; candidate windows start at the newest
         # run, matching RocksDB's read-path constraint (merging a middle
         # window would reorder run recency).
-        ratio = self.options.universal_size_ratio
+        ratio = options.universal_size_ratio
         window = [runs[0]]
         accumulated = runs[0].size
         for run in runs[1:]:
@@ -189,59 +352,274 @@ class UniversalPicker(CompactionPicker):
                 accumulated += run.size
             else:
                 break
-        if len(window) >= self.options.universal_min_merge_width:
+        if len(window) >= options.universal_min_merge_width:
             return window
         # Ratio produced no usable window: merge just enough newest runs to
         # bring the run count back to the cap.
-        needed = len(runs) - self.options.universal_max_sorted_runs + 1
-        needed = max(needed, self.options.universal_min_merge_width)
+        needed = len(runs) - options.universal_max_sorted_runs + 1
+        needed = max(needed, options.universal_min_merge_width)
         return runs[:needed]
 
 
-class FIFOPicker(CompactionPicker):
-    """FIFO: never merge; drop the oldest files once total size exceeds the
-    cap, and (with ``fifo_ttl_seconds``) files older than the TTL.  Reads of
-    expired keys fail by design (the paper's Figure 15 notes exactly this
-    for its FIFO readrandom results)."""
+class FIFOExpiryLayout(Layout):
+    """FIFO TTL expiry: every file older than the TTL, no merging."""
 
-    def __init__(self, options):
-        super().__init__(options)
-        from repro.util.clock import RealClock
-
-        self._clock = options.clock or RealClock()
-
-    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
-        files = [m for m in version.levels[0] if m.number not in compacting]
-        ttl = self.options.fifo_ttl_seconds
-        if ttl > 0:
-            now = self._clock.now()
-            expired = [
-                meta for meta in files
-                if meta.created_at and now - meta.created_at > ttl
-            ]
-            if expired:
-                return CompactionJob(
-                    inputs={0: expired}, output_level=0, delete_only=True
-                )
-        total = sum(meta.size for meta in files)
-        if total <= self.options.fifo_max_table_files_size:
+    def build(self, ctx, level, granularity):
+        expired = [
+            meta
+            for meta in ctx.version.levels[0]
+            if meta.number not in ctx.compacting
+            and meta.created_at
+            and ctx.now - meta.created_at > ctx.options.fifo_ttl_seconds
+        ]
+        if not expired:
             return None
+        return CompactionJob(inputs={0: expired}, output_level=0)
+
+
+class FIFORetentionLayout(Layout):
+    """FIFO size cap: drop the oldest files until back under the cap.
+    Reads of dropped keys fail by design (the paper's Figure 15 notes
+    exactly this for its FIFO readrandom results)."""
+
+    def build(self, ctx, level, granularity):
+        files = [
+            m for m in ctx.version.levels[0] if m.number not in ctx.compacting
+        ]
+        cap = ctx.options.fifo_max_table_files_size
+        total = sum(meta.size for meta in files)
         doomed: list[FileMetadata] = []
         for meta in sorted(files, key=lambda m: m.number):
-            if total <= self.options.fifo_max_table_files_size:
+            if total <= cap:
                 break
             doomed.append(meta)
             total -= meta.size
         if not doomed:
             return None
-        return CompactionJob(inputs={0: doomed}, output_level=0, delete_only=True)
+        return CompactionJob(inputs={0: doomed}, output_level=0)
 
 
-def make_picker(options: Options) -> CompactionPicker:
-    if options.compaction_style == COMPACTION_LEVELED:
+def build_leveled_job(
+    version: Version,
+    level: int,
+    base_files: list[FileMetadata],
+    compacting: set[int] = frozenset(),
+) -> CompactionJob | None:
+    """Assemble a leveled job: base files plus output-level overlap."""
+    if not base_files:
+        return None
+    output_level = level + 1
+    begin, end = _key_span(base_files)
+    overlap = version.overlapping_files(output_level, begin, end)
+    # Never drop a busy overlapping file from the input set -- that would
+    # produce overlapping files at the output level.  Wait instead.
+    if any(meta.number in compacting for meta in overlap):
+        return None
+    inputs = {level: base_files}
+    if overlap:
+        inputs[output_level] = overlap
+        begin = min(begin, min(m.smallest for m in overlap))
+        end = max(end, max(m.largest for m in overlap))
+    return CompactionJob(
+        inputs=inputs,
+        output_level=output_level,
+        bottommost=_is_bottommost(version, output_level, begin, end),
+    )
+
+
+# ----------------------------------------------------------------------
+# Data movement: how does the data get there?
+# ----------------------------------------------------------------------
+
+
+class Movement:
+    """Finalizes how a job's bytes travel; may reject (return None)."""
+
+    def finalize(
+        self, ctx: CompactionContext, job: CompactionJob
+    ) -> CompactionJob | None:
+        raise NotImplementedError
+
+
+class MergeMovement(Movement):
+    """Merge + rewrite (the default): outputs are re-encrypted with fresh
+    DEKs, which is how SHIELD's key rotation rides on compaction.  With
+    ``allow_trivial_move`` a single-input job with nothing to merge into
+    becomes a metadata-only relink instead (no rewrite, DEK unrotated)."""
+
+    def finalize(self, ctx, job):
+        if (
+            ctx.options.allow_trivial_move
+            and not job.delete_only
+            and job.output_level > 0
+            and len(job.input_files()) == 1
+            and job.output_level not in job.inputs
+        ):
+            job.trivial_move = True
+        return job
+
+
+class DeleteOnlyMovement(Movement):
+    """No data moves at all: inputs are simply dropped (FIFO)."""
+
+    def finalize(self, ctx, job):
+        job.delete_only = True
+        return job
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Rule:
+    """One (trigger, layout, movement) lane of a composed picker."""
+
+    trigger: Trigger
+    layout: Layout
+    movement: Movement
+
+
+class CompactionPicker:
+    """Interface: propose a job, or None if the tree is in shape."""
+
+    def __init__(self, options: Options):
+        self.options = options
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        raise NotImplementedError
+
+
+class ComposedPicker(CompactionPicker):
+    """A compaction policy as a composition along the four design axes.
+
+    ``pick`` scores every rule's trigger, takes the most urgent (first
+    rule wins ties -- rule order encodes priority), builds the job through
+    the rule's layout (bounded by the shared granularity component), and
+    finalizes the movement.  A blocked layout (in-flight conflict) falls
+    through to the next-best rule.
+    """
+
+    def __init__(
+        self,
+        options: Options,
+        rules: list[Rule],
+        granularity: Granularity | None = None,
+    ):
+        super().__init__(options)
+        self.rules = rules
+        self.granularity = granularity or FullGranularity()
+
+    def _now(self) -> float:
+        clock = getattr(self, "_clock", None)
+        if clock is None:
+            from repro.util.clock import RealClock
+
+            clock = self.options.clock or RealClock()
+            self._clock = clock
+        return clock.now()
+
+    def pick(self, version: Version, compacting: set[int]) -> CompactionJob | None:
+        ctx = CompactionContext(
+            version=version,
+            compacting=compacting,
+            options=self.options,
+            now=self._now(),
+        )
+        scored: list[tuple[float, int, int]] = []  # (score, order, level)
+        for order, rule in enumerate(self.rules):
+            fired = rule.trigger.fire(ctx)
+            if fired is None:
+                continue
+            score, level = fired
+            scored.append((score, order, level))
+        # Most urgent first; rule order breaks ties (stable priority).
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        for __, order, level in scored:
+            rule = self.rules[order]
+            job = rule.layout.build(ctx, level, self.granularity)
+            if job is None:
+                continue
+            return rule.movement.finalize(ctx, job)
+        return None
+
+
+class LeveledPicker(ComposedPicker):
+    """RocksDB-style leveled compaction: L0 count score, size scores above."""
+
+    def __init__(self, options: Options):
+        merge = MergeMovement()
+        super().__init__(
+            options,
+            rules=[
+                Rule(L0CountTrigger(), LeveledLayout(), merge),
+                Rule(LevelSizeTrigger(), LeveledLayout(), merge),
+            ],
+            granularity=PartialGranularity(),
+        )
+
+
+class UniversalPicker(ComposedPicker):
+    """Tiered compaction: every file is a sorted run in level 0; when the
+    run count exceeds the threshold, runs merge (fewer, larger I/Os -- the
+    contrast the paper draws against leveled)."""
+
+    def __init__(self, options: Options):
+        super().__init__(
+            options,
+            rules=[Rule(RunCountTrigger(), TieredLayout(), MergeMovement())],
+            granularity=PartialGranularity(),
+        )
+
+
+class LazyLeveledPicker(ComposedPicker):
+    """Lazy-leveling (Dostoevsky's hybrid): tier the write-hot upper area,
+    level the read-hot bottom.  L0 accumulates sorted runs and merges them
+    tiered while small; once L0 outgrows the L1 byte budget everything
+    spills into the leveled bottom, which then obeys leveled size scores.
+    Cheaper writes than leveled, cheaper reads than tiered -- the natural
+    resting state for mixed workloads."""
+
+    def __init__(self, options: Options):
+        merge = MergeMovement()
+        super().__init__(
+            options,
+            rules=[
+                Rule(L0BytesTrigger(), LazySpillLayout(), merge),
+                Rule(RunCountTrigger(), TieredLayout(), merge),
+                Rule(LevelSizeTrigger(), LeveledLayout(), merge),
+            ],
+            granularity=PartialGranularity(),
+        )
+
+
+class FIFOPicker(ComposedPicker):
+    """FIFO: never merge; drop the oldest files once total size exceeds the
+    cap, and (with ``fifo_ttl_seconds``) files older than the TTL."""
+
+    def __init__(self, options: Options):
+        drop = DeleteOnlyMovement()
+        super().__init__(
+            options,
+            rules=[
+                Rule(FIFOTTLTrigger(), FIFOExpiryLayout(), drop),
+                Rule(FIFOSizeTrigger(), FIFORetentionLayout(), drop),
+            ],
+        )
+
+
+def make_picker(options: Options, style: str | None = None) -> CompactionPicker:
+    """Build the picker for ``style`` (default: the options' configured
+    style).  The override is how the adaptive controller swaps policies
+    without mutating the shared Options object."""
+    style = style if style is not None else options.compaction_style
+    if style == COMPACTION_LEVELED:
         return LeveledPicker(options)
-    if options.compaction_style == COMPACTION_UNIVERSAL:
+    if style == COMPACTION_UNIVERSAL:
         return UniversalPicker(options)
-    if options.compaction_style == COMPACTION_FIFO:
+    if style == COMPACTION_LAZY_LEVELED:
+        return LazyLeveledPicker(options)
+    if style == COMPACTION_FIFO:
         return FIFOPicker(options)
-    raise ValueError(f"unknown compaction style {options.compaction_style}")
+    raise ValueError(f"unknown compaction style {style}")

@@ -46,6 +46,7 @@ from repro.lsm.sst import SSTBuilder, SSTReader
 from repro.lsm.version import FileMetadata, VersionEdit, VersionSet
 from repro.lsm.wal import WALWriter, read_wal_records
 from repro.lsm.write_batch import WriteBatch
+from repro.obs import costs
 from repro.obs.trace import TRACER
 from repro.util.lru import LRUCache
 from repro.util.stats import StatsRegistry
@@ -89,6 +90,12 @@ SP_COMPACT_AFTER_OUTPUTS = SYNC.declare(
 SP_COMPACT_AFTER_MANIFEST = SYNC.declare(
     "compaction:after_manifest_apply", "inputs dead but not yet deleted"
 )
+SP_CTRL_BEFORE_DECIDE = SYNC.declare(
+    "controller:before_decide", "signals sampled, adaptive decision pending"
+)
+SP_CTRL_AFTER_POLICY_CHANGE = SYNC.declare(
+    "controller:after_policy_change", "new picker installed, jobs not rescheduled"
+)
 SP_WAL_BEFORE_ROTATE = SYNC.declare(
     "wal:before_rotate", "memtable full, old WAL still the active log"
 )
@@ -123,6 +130,10 @@ class DB:
             else PlaintextCryptoProvider()
         )
         self.stats = StatsRegistry()
+        # Always-on breakdown for background work: flush/compaction threads
+        # attribute their encryption/KDS/IO seconds here, feeding the
+        # encryption-cost-per-byte signal without any bench harness active.
+        self._bg_costs = costs.CostBreakdown()
 
         self._mutex = threading.RLock()
         self._cond = threading.Condition(self._mutex)
@@ -156,7 +167,17 @@ class DB:
         from repro.util.clock import RealClock
 
         self._clock = self.options.clock or RealClock()
+        self._active_style = self.options.compaction_style
         self._picker = make_picker(self.options)
+        from repro.obs.signals import SignalEngine
+
+        self.signals = SignalEngine(self)
+        # When a compaction service is attached, offload is on by default
+        # (the static engine's behaviour); only the adaptive controller
+        # ever turns it off.
+        self._offload_enabled = True
+        self._reads_since_tick = 0
+        self._controller = self._make_controller()
         self._flushing: set[int] = set()  # WAL numbers of imms being flushed
         self._compacting: set[int] = set()
         self._compaction_scheduled = False
@@ -176,6 +197,122 @@ class DB:
             stats=self.stats,
         )
         self._recover()
+
+    # ------------------------------------------------------------------
+    # Adaptive control loop (closed-loop observability)
+    # ------------------------------------------------------------------
+
+    def _make_controller(self):
+        """Build the adaptive controller when enabled and applicable.
+
+        Opt-in via ``Options.adaptive_compaction`` or ``REPRO_ADAPTIVE=1``
+        in the environment (options win when not None).  With the knob
+        off, nothing here runs and the engine's behaviour is identical to
+        the pre-controller code paths.
+        """
+        import os
+
+        enabled = self.options.adaptive_compaction
+        if enabled is None:
+            enabled = os.environ.get("REPRO_ADAPTIVE", "") not in ("", "0")
+        if not enabled:
+            return None
+        from repro.obs.controller import ADAPTIVE_POLICIES, AdaptiveController
+
+        if self.options.compaction_style not in ADAPTIVE_POLICIES:
+            return None  # FIFO: the controller refuses lossy policies
+        service = self.options.compaction_service
+        link_s_per_byte = 0.0
+        link = getattr(service, "dispatch_link", None)
+        if link is not None:
+            bandwidth = link.config.bandwidth_bytes_per_s
+            if bandwidth > 0:
+                link_s_per_byte = 1.0 / bandwidth
+        return AdaptiveController(
+            self.options.compaction_style,
+            offload_available=service is not None,
+            link_s_per_byte=link_s_per_byte,
+            config=self.options.adaptive_config,
+        )
+
+    def _controller_tick(self, origin: str) -> None:
+        """One opportunistic control-loop iteration.
+
+        Called from background-job completions (flush/compaction, inside
+        their trace spans so a policy change parents naturally) and from
+        the gated read path.  Cheap when not due; a no-op when the
+        controller is disabled.
+        """
+        controller = self._controller
+        if controller is None or self._closed:
+            return
+        now = self._clock.now()
+        if not controller.due(now):
+            return
+        SYNC.process(SP_CTRL_BEFORE_DECIDE)
+        signals = self.signals.sample()
+        health = self.health()["state"]
+        decision = controller.decide(signals, health, now)
+        self.stats.counter("controller.ticks").add(1)
+        if decision.frozen:
+            self.stats.counter("controller.frozen_ticks").add(1)
+            return
+        if decision.policy_changed or decision.offload_changed:
+            with TRACER.span(
+                "compaction.policy_change",
+                attributes={
+                    "origin": origin,
+                    "policy": decision.policy,
+                    "offload": decision.offload,
+                    "reason": decision.reason,
+                },
+            ):
+                self._apply_decision(decision)
+            SYNC.process(SP_CTRL_AFTER_POLICY_CHANGE)
+            # The new policy may see work the old one did not.
+            self._maybe_schedule_compaction()
+
+    def _apply_decision(self, decision) -> None:
+        with self._mutex:
+            if decision.policy != self._active_style:
+                self._active_style = decision.policy
+                self._picker = make_picker(self.options, decision.policy)
+                self.stats.counter("controller.policy_changes").add(1)
+            if decision.offload != self._offload_enabled:
+                self._offload_enabled = decision.offload
+                self.stats.counter("controller.offload_changes").add(1)
+
+    def _offload_active(self) -> bool:
+        return (
+            self.options.compaction_service is not None and self._offload_enabled
+        )
+
+    def controller_state(self) -> dict | None:
+        """The adaptive controller's current state (None when disabled)."""
+        controller = self._controller
+        if controller is None:
+            return None
+        state = controller.stats_dict()
+        state["active_style"] = self._active_style
+        return state
+
+    def obs_dict(self) -> dict:
+        """The OP_STATS ``obs`` section: derived signals (and, when the
+        adaptive loop is on, the controller's state).
+
+        With the controller running, the control loop owns the sampling
+        cadence and this returns its latest sample; otherwise each stats
+        export advances the delta baseline itself.
+        """
+        state = self.controller_state()
+        if state is not None:
+            signals = self.signals.latest() or self.signals.sample()
+        else:
+            signals = self.signals.sample()
+        out = {"signals": signals}
+        if state is not None:
+            out["controller"] = state
+        return out
 
     # ------------------------------------------------------------------
     # Recovery / open
@@ -319,6 +456,7 @@ class DB:
 
             try:
                 total_ops = 0
+                total_bytes = 0
                 want_sync = self.options.wal_sync_writes
                 committed: list[tuple[int, int, bytes]] = []
                 for request in group:
@@ -334,6 +472,7 @@ class DB:
                         self._mem.add(seq, vtype, key, value)
                         seq += 1
                     total_ops += len(request.batch)
+                    total_bytes += request.batch.byte_size()
                     if self._commit_listeners:
                         if payload is None:
                             payload = request.batch.serialize(first_seq)
@@ -342,6 +481,7 @@ class DB:
                     self._wal.sync()
                 self._notify_commit_listeners(committed)
                 self.stats.counter("db.writes").add(total_ops)
+                self.stats.counter("db.user_write_bytes").add(total_bytes)
                 self.stats.counter("db.write_groups").add(1)
                 self.stats.histogram("db.group_size").record(len(group))
                 if self._mem.approximate_size() >= self.options.write_buffer_size:
@@ -609,25 +749,30 @@ class DB:
                 "db.flush_job", attributes={"wal_number": wal_number}
             ) as span:
                 SYNC.process(SP_FLUSH_BEFORE_SST)
-                meta = self._write_sst_from_memtable(mem)
+                with costs.attribute(self._bg_costs, "flush"):
+                    meta = self._write_sst_from_memtable(mem)
                 SYNC.process(SP_FLUSH_AFTER_SST)
                 span.set_attribute("output_bytes", meta.size)
                 span.set_attribute("entries", meta.num_entries)
-            with self._mutex:
-                # WALs older than every still-live memtable's WAL are obsolete.
-                other_logs = [
-                    entry[1] for entry in self._imm if entry[1] != wal_number
-                ]
-                remaining_log = min(other_logs + [self._wal_number])
-                edit = VersionEdit(
-                    log_number=remaining_log,
-                    last_sequence=self._versions.last_sequence,
-                )
-                edit.add_file(0, meta)
-                self._versions.log_and_apply(edit)
-                self._imm.remove(target)
-                self._cond.notify_all()
-            SYNC.process(SP_FLUSH_AFTER_MANIFEST)
+                with self._mutex:
+                    # WALs older than every still-live memtable's WAL are
+                    # obsolete.
+                    other_logs = [
+                        entry[1] for entry in self._imm if entry[1] != wal_number
+                    ]
+                    remaining_log = min(other_logs + [self._wal_number])
+                    edit = VersionEdit(
+                        log_number=remaining_log,
+                        last_sequence=self._versions.last_sequence,
+                    )
+                    edit.add_file(0, meta)
+                    self._versions.log_and_apply(edit)
+                    self._imm.remove(target)
+                    self._cond.notify_all()
+                SYNC.process(SP_FLUSH_AFTER_MANIFEST)
+                # Control-loop tick inside the span: a policy change this
+                # flush provokes parents under db.flush_job in the trace.
+                self._controller_tick("flush")
         finally:
             with self._mutex:
                 self._flushing.discard(wal_number)
@@ -659,6 +804,8 @@ class DB:
         try:
             if job.delete_only:
                 self._apply_delete_only(job)
+            elif job.trivial_move:
+                self._apply_trivial_move(job)
             else:
                 self._run_merge_compaction(job)
         except AuthenticationError:
@@ -683,6 +830,21 @@ class DB:
             self._drop_table(meta)
         self.stats.counter("db.fifo_expirations").add(len(job.input_files()))
 
+    def _apply_trivial_move(self, job: CompactionJob) -> None:
+        """Metadata-only move: relink the input file at the output level.
+
+        No bytes are rewritten and no DEK rotates -- the movement
+        dimension's fast lane, valid only because the picker proved the
+        file overlaps nothing at the output level.
+        """
+        edit = VersionEdit()
+        for level, meta in job.input_files():
+            edit.delete_file(level, meta.number)
+            edit.add_file(job.output_level, meta)
+        with self._mutex:
+            self._versions.log_and_apply(edit)
+        self.stats.counter("db.trivial_moves").add(1)
+
     def _run_merge_compaction(self, job: CompactionJob) -> None:
         with TRACER.span(
             "db.compaction",
@@ -690,13 +852,14 @@ class DB:
                 "inputs": len(job.input_files()),
                 "input_bytes": job.total_input_bytes(),
                 "output_level": job.output_level,
-                "offloaded": self.options.compaction_service is not None,
+                "offloaded": self._offload_active(),
             },
         ) as span:
-            if self.options.compaction_service is not None:
-                outputs = self._merge_via_service(job)
-            else:
-                outputs = self._merge_locally(job)
+            with costs.attribute(self._bg_costs, "compaction"):
+                if self._offload_active():
+                    outputs = self._merge_via_service(job)
+                else:
+                    outputs = self._merge_locally(job)
             span.set_attribute(
                 "output_bytes", sum(meta.size for meta in outputs)
             )
@@ -713,11 +876,16 @@ class DB:
             for __, meta in job.input_files():
                 self._drop_table(meta)
 
-        self.stats.counter("db.compactions").add(1)
-        self.stats.counter("db.compaction_bytes_read").add(job.total_input_bytes())
-        self.stats.counter("db.compaction_bytes_written").add(
-            sum(meta.size for meta in outputs)
-        )
+            self.stats.counter("db.compactions").add(1)
+            self.stats.counter("db.compaction_bytes_read").add(
+                job.total_input_bytes()
+            )
+            self.stats.counter("db.compaction_bytes_written").add(
+                sum(meta.size for meta in outputs)
+            )
+            # Tick inside the span: a policy change provoked by this
+            # compaction parents under db.compaction in the trace.
+            self._controller_tick("compaction")
 
     def _merge_via_service(self, job: CompactionJob) -> list[FileMetadata]:
         """Ship the merge to an offloaded compaction worker (repro.dist)."""
@@ -733,7 +901,7 @@ class DB:
                 sst_path(self.path, meta.number) for __, meta in job.input_files()
             ],
             bottommost=job.bottommost,
-            split_outputs=self.options.compaction_style == "leveled",
+            split_outputs=self._split_outputs(job),
             target_file_size=self.options.target_file_size,
         )
         results = self.options.compaction_service.compact(request, allocate_output)
@@ -751,6 +919,15 @@ class DB:
             )
             for result in results
         ]
+
+    def _split_outputs(self, job: CompactionJob) -> bool:
+        """Split outputs at the target file size when merging *into* a
+        leveled area (output level >= 1).  Tiered merges at L0 must emit a
+        single file: each L0 file is one sorted run, and splitting would
+        mint extra runs out of thin air.  Equivalent to the old per-style
+        check for leveled/universal/FIFO; lazy-leveling needs the
+        per-job form (its L0 tier merges and L1+ spills differ)."""
+        return job.output_level >= 1
 
     def _merge_locally(self, job: CompactionJob) -> list[FileMetadata]:
         merged = newest_visible(
@@ -788,7 +965,7 @@ class DB:
             )
             builder = None
 
-        split_outputs = self.options.compaction_style == "leveled"
+        split_outputs = self._split_outputs(job)
         for key, seq, vtype, value in merged:
             if builder is None:
                 with self._mutex:
@@ -882,6 +1059,14 @@ class DB:
         # may unlink a file we are about to open, or retire its DEK from the
         # KDS.  Retrying with a fresh version is always correct: the data
         # moved, it didn't disappear.
+        if self._controller is not None:
+            # Read-mostly phases produce no flushes to tick the control
+            # loop, so the read path checks in occasionally.  The counter
+            # is racy on purpose: a lost increment only delays a check.
+            self._reads_since_tick += 1
+            if self._reads_since_tick >= 64:
+                self._reads_since_tick = 0
+                self._controller_tick("read")
         with TRACER.span("db.get") as span:
             for _attempt in range(8):
                 try:
@@ -917,9 +1102,11 @@ class DB:
                 if result is not None:
                     break
         if result is None:
+            probe_counter = self.stats.counter("db.get_sst_probes")
             for __, meta in version.candidates_for_key(key):
                 if meta.smallest_seq > snapshot:
                     continue
+                probe_counter.add(1)
                 try:
                     result = self._get_reader(meta).get(key, snapshot)
                 except AuthenticationError:
@@ -973,6 +1160,11 @@ class DB:
         """Range scan: [start, end) up to ``limit`` pairs."""
         opts = opts or ReadOptions()
         snapshot = opts.snapshot if opts.snapshot is not None else MAX_SEQUENCE
+        if self._controller is not None:
+            self._reads_since_tick += 1
+            if self._reads_since_tick >= 64:
+                self._reads_since_tick = 0
+                self._controller_tick("read")
         with TRACER.span("db.scan") as span:
             for _attempt in range(8):
                 try:
@@ -1208,7 +1400,7 @@ class DB:
                 inputs.setdefault(level, []).append(meta)
             output_level = (
                 self.options.num_levels - 1
-                if self.options.compaction_style == "leveled"
+                if self._active_style in ("leveled", "lazy-leveled")
                 else 0
             )
             job = CompactionJob(
@@ -1277,6 +1469,15 @@ class DB:
         if name == "repro.stats":
             return self.stats.snapshot()
         raise InvalidArgumentError(f"unknown property {name!r}")
+
+    @property
+    def clock(self):
+        """The engine clock (real, scaled, or virtual -- see Options)."""
+        return self._clock
+
+    def background_costs(self) -> costs.CostBreakdown:
+        """Cumulative cost breakdown of this DB's flush/compaction work."""
+        return self._bg_costs
 
     def num_files_at_level(self, level: int) -> int:
         with self._mutex:

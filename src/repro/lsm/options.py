@@ -18,6 +18,9 @@ if TYPE_CHECKING:
 COMPACTION_LEVELED = "leveled"
 COMPACTION_UNIVERSAL = "universal"
 COMPACTION_FIFO = "fifo"
+# Lazy-leveling (Dostoevsky-style hybrid): tiered upper area, leveled
+# bottom -- the middle ground the adaptive controller rests on.
+COMPACTION_LAZY_LEVELED = "lazy-leveled"
 
 
 @dataclass
@@ -75,6 +78,14 @@ class Options:
     fifo_max_table_files_size: int = 8 * 1024 * 1024
     # FIFO: additionally expire files older than this (0 disables).
     fifo_ttl_seconds: float = 0.0
+    # Granularity knob (partial compaction): cap one job's *base* input
+    # bytes; pulled-in output-level overlap rides on top.  0 = unlimited
+    # (classic full-eligible jobs).
+    max_compaction_bytes: int = 0
+    # Movement knob: relink a single input file with nothing to merge into
+    # instead of rewriting it.  Faster, but the moved file keeps its DEK
+    # until a real merge touches it (rotation postponed, never skipped).
+    allow_trivial_move: bool = False
 
     # Background flush/compaction worker threads.
     max_background_jobs: int = 2
@@ -104,6 +115,17 @@ class Options:
     # service (a repro.dist.CompactionService) instead of running locally.
     compaction_service: Optional[object] = None
 
+    # Closed-loop observability: when True the DB hosts an adaptive
+    # compaction controller (repro.obs.controller) that retunes the
+    # picker -- and the offload routing above -- from live derived
+    # signals.  None defers to the REPRO_ADAPTIVE environment knob;
+    # False pins the static configured policy.  FIFO trees never get a
+    # controller regardless (the controller refuses lossy policies).
+    adaptive_compaction: Optional[bool] = None
+    # A repro.obs.controller.ControllerConfig overriding thresholds and
+    # stability knobs (None = defaults).
+    adaptive_config: Optional[object] = None
+
     def validate(self) -> None:
         from repro.errors import InvalidArgumentError
 
@@ -111,6 +133,7 @@ class Options:
             COMPACTION_LEVELED,
             COMPACTION_UNIVERSAL,
             COMPACTION_FIFO,
+            COMPACTION_LAZY_LEVELED,
         ):
             raise InvalidArgumentError(
                 f"unknown compaction style: {self.compaction_style}"
@@ -129,6 +152,8 @@ class Options:
             raise InvalidArgumentError("encryption_threads must be >= 1")
         if self.wal_buffer_size < 0:
             raise InvalidArgumentError("wal_buffer_size must be >= 0")
+        if self.max_compaction_bytes < 0:
+            raise InvalidArgumentError("max_compaction_bytes must be >= 0")
         if self.compression not in ("none", "zlib"):
             raise InvalidArgumentError(
                 f"unknown compression: {self.compression}"

@@ -550,4 +550,6 @@ class KVServer:
         }
         if self._key_client is not None and hasattr(self._key_client, "stats"):
             out["keyclient"] = self._key_client.stats.snapshot()
+        if hasattr(self.db, "obs_dict"):
+            out["obs"] = self.db.obs_dict()
         return out

@@ -226,6 +226,8 @@ def _shard_stats_dict(db) -> dict:
         )
     if key_client is not None and hasattr(key_client, "stats"):
         out["keyclient"] = key_client.stats.snapshot()
+    if hasattr(db, "obs_dict"):
+        out["obs"] = db.obs_dict()
     return out
 
 
@@ -1092,4 +1094,20 @@ class MultiProcessKVServer:
         keyclients = [p["keyclient"] for p in parts if "keyclient" in p]
         if keyclients:
             merged["keyclient"] = merge_numeric(keyclients)
+        obs_parts = [p["obs"] for p in parts if "obs" in p]
+        if obs_parts:
+            from repro.obs.controller import merge_controller_states
+            from repro.obs.signals import merge_signals
+
+            obs = {
+                "signals": merge_signals(
+                    [p.get("signals", {}) for p in obs_parts]
+                )
+            }
+            controllers = merge_controller_states(
+                [p.get("controller", {}) for p in obs_parts]
+            )
+            if controllers:
+                obs["controller"] = controllers
+            merged["obs"] = obs
         return merged

@@ -1,0 +1,177 @@
+"""``bench-compare``: diff the BENCH_PR*.json perf trajectory.
+
+Every PR whose claims are performance-shaped re-runs the canonical
+benchmarks into ``benchmarks/results/BENCH_PR<n>.json`` (see
+``benchmarks/bench_trajectory.py``).  This tool lines those files up and
+prints, per workload row, the throughput across PRs plus the delta from
+the previous PR that measured it -- so "measurably faster" is checked
+against recorded history, not vibes.
+
+Examples::
+
+    # The whole trajectory, oldest PR first:
+    python -m repro.tools.bench_compare
+
+    # Just two experiments, explicit order:
+    python -m repro.tools.bench_compare --experiments BENCH_PR9 BENCH_PR10
+
+    # Fail (exit 1) if any shared row regressed more than 20%:
+    python -m repro.tools.bench_compare --fail-threshold 20
+
+``compare`` is a pure function over loaded payloads so tests drive it
+without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+_DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+_PR_PATTERN = re.compile(r"BENCH_PR(\d+)", re.IGNORECASE)
+
+
+def pr_number(experiment: str) -> int:
+    """Sort key: the PR number inside an experiment name (else a large
+    sentinel so unrecognized names sort last, in name order)."""
+    match = _PR_PATTERN.search(experiment)
+    return int(match.group(1)) if match else 1 << 30
+
+
+def load_results_dir(results_dir: str) -> list[dict]:
+    """Load every BENCH_PR*.json payload, oldest PR first."""
+    payloads = []
+    for path in glob.glob(os.path.join(results_dir, "BENCH_PR*.json")):
+        with open(path, "r", encoding="utf-8") as handle:
+            payloads.append(json.load(handle))
+    payloads.sort(key=lambda p: pr_number(p.get("experiment", "")))
+    return payloads
+
+
+def _fmt_tput(value: float | None) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def _fmt_delta(delta: float | None) -> str:
+    if delta is None:
+        return ""
+    sign = "+" if delta >= 0 else ""
+    return f"{sign}{delta:.1f}%"
+
+
+def compare(payloads: list[dict]) -> tuple[str, list[dict]]:
+    """Line up throughput per row name across experiments.
+
+    Returns (rendered table, change records).  Each change record is
+    ``{"name", "experiment", "prev_experiment", "delta_pct"}`` for every
+    row measured by two or more experiments (delta vs. the previous
+    experiment that has the row).
+    """
+    if not payloads:
+        return "no BENCH_PR*.json results found", []
+    experiments = [p.get("experiment", "?") for p in payloads]
+    tput: dict[str, dict[str, float]] = {}
+    order: list[str] = []
+    for payload in payloads:
+        experiment = payload.get("experiment", "?")
+        for row in payload.get("results", []):
+            name = row.get("name", "?")
+            if name not in tput:
+                tput[name] = {}
+                order.append(name)
+            tput[name][experiment] = row.get("throughput", 0.0)
+
+    changes: list[dict] = []
+    name_width = max(len("workload"), *(len(name) for name in order))
+    columns = [max(len(e), 12) for e in experiments]
+    header = f"{'workload':<{name_width}}"
+    for experiment, width in zip(experiments, columns):
+        header += f"  {experiment:>{width}}"
+    lines = [header, "-" * len(header)]
+    for name in order:
+        line = f"{name:<{name_width}}"
+        prev: tuple[str, float] | None = None
+        for experiment, width in zip(experiments, columns):
+            value = tput[name].get(experiment)
+            cell = _fmt_tput(value)
+            if value is not None and prev is not None and prev[1] > 0:
+                delta = (value / prev[1] - 1.0) * 100.0
+                cell += f" ({_fmt_delta(delta)})"
+                changes.append(
+                    {
+                        "name": name,
+                        "experiment": experiment,
+                        "prev_experiment": prev[0],
+                        "delta_pct": delta,
+                    }
+                )
+            if value is not None:
+                prev = (experiment, value)
+            line += f"  {cell:>{width}}"
+        lines.append(line)
+    lines.append("")
+    lines.append(
+        "deltas are vs. the previous experiment measuring the same row; "
+        "rows measured once have no delta"
+    )
+    return "\n".join(lines), changes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench_compare",
+        description="Diff BENCH_PR*.json benchmark results across PRs.",
+    )
+    parser.add_argument(
+        "--results-dir", default=_DEFAULT_RESULTS_DIR,
+        help="directory holding BENCH_PR*.json (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--experiments", nargs="*", default=None, metavar="NAME",
+        help="restrict (and order) the comparison to these experiment names",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=None, metavar="PCT",
+        help="exit 1 if any shared row regressed by more than PCT percent",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the aligned series as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    payloads = load_results_dir(args.results_dir)
+    if args.experiments:
+        by_name = {p.get("experiment"): p for p in payloads}
+        missing = [e for e in args.experiments if e not in by_name]
+        if missing:
+            print(f"unknown experiments: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        payloads = [by_name[e] for e in args.experiments]
+    table, changes = compare(payloads)
+    if args.as_json:
+        print(json.dumps(changes, indent=2, sort_keys=True))
+    else:
+        print(table)
+    if args.fail_threshold is not None:
+        regressed = [
+            c for c in changes if c["delta_pct"] < -abs(args.fail_threshold)
+        ]
+        for change in regressed:
+            print(
+                f"REGRESSION {change['name']}: {change['delta_pct']:.1f}% "
+                f"({change['prev_experiment']} -> {change['experiment']})",
+                file=sys.stderr,
+            )
+        if regressed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

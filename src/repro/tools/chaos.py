@@ -111,8 +111,8 @@ def _value(index: int, round_: int) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def _engine_options(env) -> Options:
-    return Options(
+def _engine_options(env, adaptive: bool = False) -> Options:
+    options = Options(
         env=env,
         write_buffer_size=2048,
         block_size=512,
@@ -121,6 +121,22 @@ def _engine_options(env) -> Options:
         max_background_jobs=1,
         slowdown_delay_s=0.0,
     )
+    if adaptive:
+        # The controller:* points only fire when the adaptive loop runs
+        # and actually flips a policy; an aggressive config makes the
+        # trial's write-heavy phase force a leveled->universal flip on
+        # the first due tick.
+        from repro.obs.controller import ControllerConfig
+
+        options.adaptive_compaction = True
+        options.adaptive_config = ControllerConfig(
+            tick_interval_s=0.0,
+            confirm_ticks=1,
+            dwell_s=0.0,
+            max_flips_per_min=1_000_000,
+            write_rate_floor=1.0,
+        )
+    return options
 
 
 def _crash_point_trial(point: str, seed: int = 0) -> dict:
@@ -200,7 +216,11 @@ def _crash_point_trial(point: str, seed: int = 0) -> dict:
         # Phase 2: reopen (recovery itself hits MANIFEST-swap and
         # DEK-retire points) and keep working until the point fires.
         try:
-            db = open_shield_db(DB_PATH, shield, _engine_options(mem))
+            db = open_shield_db(
+                DB_PATH,
+                shield,
+                _engine_options(mem, adaptive=point.startswith("controller:")),
+            )
         except Exception as exc:  # noqa: BLE001 - the kill lands here too
             if "snap" not in capture:
                 result["error"] = f"open died before capture: {exc!r}"

@@ -126,6 +126,68 @@ def _cipher_summary(
     return lines
 
 
+def _obs_lines(obs: dict) -> list[str]:
+    """The derived-signals + controller panel (already windowed/derived
+    server-side; no rate annotation needed)."""
+    lines: list[str] = []
+    signals = obs.get("signals") or {}
+    if signals:
+        lines.append("== obs: derived signals ==")
+        lines.append(
+            f"  stalls      {_fmt_value(signals.get('stall_seconds', 0.0))}s "
+            f"({_fmt_value(signals.get('stall_count', 0))} events, "
+            f"{_fmt_value(signals.get('slowdown_writes', 0))} slowdowns)"
+        )
+        lines.append(
+            f"  amp         write {_fmt_value(signals.get('write_amp', 0.0))}"
+            f" / read {_fmt_value(signals.get('read_amp', 0.0))}"
+            f" / space {_fmt_value(signals.get('space_amp', 0.0))}"
+        )
+        debt = signals.get("level_debt_bytes") or []
+        busy = [f"L{i}:{_fmt_value(b)}" for i, b in enumerate(debt) if b]
+        lines.append(
+            f"  debt        {_fmt_value(signals.get('compaction_debt_bytes', 0))}"
+            f" bytes ({' '.join(busy) if busy else 'none'})"
+        )
+        lines.append(
+            f"  rates       {_fmt_bytes_rate(signals.get('write_bytes_per_s', 0.0))}"
+            f" in, {_fmt_value(signals.get('get_ops_per_s', 0.0))} get/s, "
+            f"{_fmt_value(signals.get('scan_ops_per_s', 0.0))} scan/s"
+        )
+        lines.append(
+            f"  kds         p95 {_fmt_value(signals.get('kds_p95_s', 0.0))}s "
+            f"({_fmt_value(signals.get('kds_count', 0))} calls); "
+            f"encrypt {_fmt_value(signals.get('encrypt_s_per_compaction_byte', 0.0))}"
+            " s/compaction-byte"
+        )
+    controller = obs.get("controller") or {}
+    if controller:
+        lines.append("== obs: adaptive controller ==")
+        if "policies" in controller:  # merged multi-shard summary
+            spread = ", ".join(
+                f"{policy}x{count}"
+                for policy, count in sorted(controller["policies"].items())
+            )
+            lines.append(
+                f"  policy      {spread} "
+                f"(offload on {controller.get('offload_shards', 0)}"
+                f"/{controller.get('shards', 0)} shards)"
+            )
+        else:
+            lines.append(
+                f"  policy      {controller.get('policy', '?')} "
+                f"(offload={'on' if controller.get('offload') else 'off'}, "
+                f"reason={controller.get('reason', '')})"
+            )
+        lines.append(
+            f"  stability   {_fmt_value(controller.get('ticks', 0))} ticks, "
+            f"{_fmt_value(controller.get('policy_changes', 0))} policy changes, "
+            f"{_fmt_value(controller.get('offload_changes', 0))} offload changes, "
+            f"{_fmt_value(controller.get('frozen_ticks', 0))} frozen"
+        )
+    return lines
+
+
 def render(
     stats: dict,
     previous: dict | None = None,
@@ -137,6 +199,9 @@ def render(
     committed = stats.get("committed_sequence")
     if committed is not None:
         lines.append(f"committed_sequence: {_fmt_value(committed)}")
+    obs = stats.get("obs")
+    if obs:
+        lines.extend(_obs_lines(obs))
     for section in SECTIONS:
         current = stats.get(section)
         if current is None:

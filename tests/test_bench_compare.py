@@ -1,0 +1,90 @@
+"""The perf-trajectory differ (repro.tools.bench_compare)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.bench_compare import compare, load_results_dir, main, pr_number
+
+
+def _payload(experiment, **rows):
+    return {
+        "experiment": experiment,
+        "results": [
+            {"name": name, "throughput": tput} for name, tput in rows.items()
+        ],
+    }
+
+
+def test_pr_number_ordering():
+    assert pr_number("BENCH_PR7") == 7
+    assert pr_number("BENCH_PR10") == 10
+    assert pr_number("custom-run") > 1_000_000  # unrecognized sorts last
+
+
+def test_compare_aligns_rows_and_computes_deltas():
+    table, changes = compare(
+        [
+            _payload("BENCH_PR9", **{"ycsb-A": 1000.0, "old-only": 5.0}),
+            _payload("BENCH_PR10", **{"ycsb-A": 1200.0, "new-only": 7.0}),
+        ]
+    )
+    assert "ycsb-A" in table
+    assert "+20.0%" in table
+    assert len(changes) == 1
+    assert changes[0]["name"] == "ycsb-A"
+    assert changes[0]["prev_experiment"] == "BENCH_PR9"
+    assert abs(changes[0]["delta_pct"] - 20.0) < 1e-9
+    # Rows unique to one experiment render but produce no delta.
+    assert "old-only" in table and "new-only" in table
+
+
+def test_compare_skips_gaps_to_previous_measurement():
+    # PR9 never measured the row: PR10's delta is vs. PR8, not vs. nothing.
+    __, changes = compare(
+        [
+            _payload("BENCH_PR8", row=100.0),
+            _payload("BENCH_PR9", other=1.0),
+            _payload("BENCH_PR10", row=90.0),
+        ]
+    )
+    (change,) = [c for c in changes if c["name"] == "row"]
+    assert change["prev_experiment"] == "BENCH_PR8"
+    assert abs(change["delta_pct"] + 10.0) < 1e-9
+
+
+def test_compare_empty():
+    table, changes = compare([])
+    assert changes == []
+    assert "no BENCH_PR" in table
+
+
+def test_load_results_dir_sorts_by_pr_number(tmp_path):
+    for name, tput in (("BENCH_PR10", 2.0), ("BENCH_PR9", 1.0)):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(_payload(name, row=tput)))
+    payloads = load_results_dir(str(tmp_path))
+    assert [p["experiment"] for p in payloads] == ["BENCH_PR9", "BENCH_PR10"]
+
+
+def test_main_fail_threshold(tmp_path, capsys):
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(_payload("BENCH_PR9", row=100.0)))
+    (tmp_path / "BENCH_PR10.json").write_text(json.dumps(_payload("BENCH_PR10", row=50.0)))
+    assert main(["--results-dir", str(tmp_path)]) == 0
+    assert main(["--results-dir", str(tmp_path), "--fail-threshold", "60"]) == 0
+    assert main(["--results-dir", str(tmp_path), "--fail-threshold", "20"]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION row" in captured.err
+
+
+def test_main_unknown_experiment(tmp_path):
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(_payload("BENCH_PR9", row=1.0)))
+    assert main(["--results-dir", str(tmp_path), "--experiments", "NOPE"]) == 2
+
+
+def test_main_json_output(tmp_path, capsys):
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(_payload("BENCH_PR9", row=100.0)))
+    (tmp_path / "BENCH_PR10.json").write_text(json.dumps(_payload("BENCH_PR10", row=110.0)))
+    assert main(["--results-dir", str(tmp_path), "--json"]) == 0
+    changes = json.loads(capsys.readouterr().out)
+    assert abs(changes[0]["delta_pct"] - 10.0) < 1e-6

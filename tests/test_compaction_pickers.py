@@ -215,3 +215,233 @@ def test_fifo_under_cap_no_work():
     picker = FIFOPicker(options)
     version = _version(l0=[_meta(1), _meta(2)])
     assert picker.pick(version, set()) is None
+
+
+# ----------------------------------------------------------------------
+# Composable design-space components (trigger / layout / granularity /
+# movement) and the policies composed from them.
+# ----------------------------------------------------------------------
+
+from repro.lsm.compaction import (  # noqa: E402
+    CompactionContext,
+    FullGranularity,
+    L0BytesTrigger,
+    L0CountTrigger,
+    LazyLeveledPicker,
+    LevelSizeTrigger,
+    PartialGranularity,
+    RunCountTrigger,
+)
+
+
+def _ctx(version, options=None, compacting=None, now=0.0):
+    return CompactionContext(
+        version=version,
+        compacting=compacting or set(),
+        options=options or Options(),
+        now=now,
+    )
+
+
+def test_trigger_scores():
+    version = _version(l0=[_meta(i) for i in range(1, 5)])
+    ctx = _ctx(version, Options(level0_file_num_compaction_trigger=4))
+    assert L0CountTrigger().fire(ctx) == (1.0, 0)
+    ctx = _ctx(version, Options(level0_file_num_compaction_trigger=8))
+    assert L0CountTrigger().fire(ctx) is None
+    # Run-count trigger fires strictly above the cap.
+    ctx = _ctx(version, Options(universal_max_sorted_runs=4))
+    assert RunCountTrigger().fire(ctx) is None
+    ctx = _ctx(version, Options(universal_max_sorted_runs=3))
+    score, level = RunCountTrigger().fire(ctx)
+    assert score > 1.0 and level == 0
+
+
+def test_level_size_trigger_picks_worst_level():
+    options = Options(max_bytes_for_level_base=1000, fanout=10)
+    version = Version(7)
+    edit = VersionEdit()
+    edit.add_file(1, _meta(1, b"a", b"c", size=1500))     # score 1.5
+    edit.add_file(2, _meta(2, b"d", b"f", size=30000))    # score 3.0
+    version = version.apply(edit)
+    score, level = LevelSizeTrigger().fire(_ctx(version, options))
+    assert level == 2
+    assert score == 3.0
+
+
+def test_l0_bytes_trigger():
+    options = Options(max_bytes_for_level_base=1000)
+    version = _version(l0=[_meta(1, size=600), _meta(2, size=600)])
+    score, level = L0BytesTrigger().fire(_ctx(version, options))
+    assert score == 1.2 and level == 0
+    version = _version(l0=[_meta(1, size=100)])
+    assert L0BytesTrigger().fire(_ctx(version, options)) is None
+
+
+def test_partial_granularity_caps_base_bytes():
+    options = Options(max_compaction_bytes=250)
+    files = [_meta(i, size=100) for i in range(1, 6)]
+    kept = PartialGranularity().trim(files, _ctx(_version(), options))
+    assert [m.number for m in kept] == [1, 2]
+    # Always keeps at least one file, even over budget.
+    big = [_meta(9, size=10_000)]
+    assert PartialGranularity().trim(big, _ctx(_version(), options)) == big
+    # Budget 0 = unlimited.
+    options = Options(max_compaction_bytes=0)
+    assert PartialGranularity().trim(files, _ctx(_version(), options)) == files
+    assert FullGranularity().trim(files, _ctx(_version(), Options())) == files
+
+
+def test_leveled_partial_compaction_moves_oldest_l0_files():
+    options = Options(
+        level0_file_num_compaction_trigger=4, max_compaction_bytes=250
+    )
+    picker = LeveledPicker(options)
+    version = _version(l0=[_meta(i, size=100) for i in range(1, 5)])
+    job = picker.pick(version, set())
+    assert job is not None
+    # Oldest two files move; the newer two stay in L0 and keep shadowing.
+    assert job.input_numbers() == {1, 2}
+    assert job.output_level == 1
+
+
+def test_lazy_leveled_tiers_small_l0():
+    options = Options(
+        compaction_style="lazy-leveled",
+        universal_max_sorted_runs=3,
+        max_bytes_for_level_base=1_000_000,  # spill far away
+    )
+    picker = LazyLeveledPicker(options)
+    version = _version(l0=[_meta(i, size=100) for i in range(1, 5)])
+    job = picker.pick(version, set())
+    assert job is not None
+    assert job.output_level == 0           # tier merge within L0
+    assert len(job.input_files()) == 4
+    assert job.bottommost                  # nothing below yet
+
+
+def test_lazy_leveled_spills_to_l1_when_l0_outgrows_budget():
+    options = Options(
+        compaction_style="lazy-leveled",
+        universal_max_sorted_runs=8,
+        max_bytes_for_level_base=1000,
+    )
+    picker = LazyLeveledPicker(options)
+    l1 = [_meta(9, b"a", b"m", size=100)]
+    version = _version(
+        l0=[_meta(i, b"a", b"z", size=600) for i in range(1, 3)], l1=l1
+    )
+    job = picker.pick(version, set())
+    assert job is not None
+    assert job.output_level == 1
+    assert job.input_numbers() == {1, 2, 9}  # L0 runs + overlapping L1 file
+
+
+def test_lazy_leveled_tier_merge_above_l1_is_not_bottommost():
+    options = Options(
+        compaction_style="lazy-leveled",
+        universal_max_sorted_runs=3,
+        max_bytes_for_level_base=1_000_000,
+    )
+    picker = LazyLeveledPicker(options)
+    version = _version(
+        l0=[_meta(i, b"a", b"z", size=10) for i in range(1, 5)],
+        l1=[_meta(9, b"a", b"m", size=100)],
+    )
+    job = picker.pick(version, set())
+    assert job is not None
+    assert job.output_level == 0
+    assert not job.bottommost  # L1 holds older versions of these keys
+
+
+def test_lazy_leveled_levels_the_bottom():
+    options = Options(
+        compaction_style="lazy-leveled",
+        universal_max_sorted_runs=8,
+        max_bytes_for_level_base=1000,
+        fanout=2,
+    )
+    picker = LazyLeveledPicker(options)
+    # Quiet L0, oversized L1 -> classic leveled size compaction L1 -> L2.
+    version = _version(l1=[_meta(1, b"a", b"f", size=5000)])
+    job = picker.pick(version, set())
+    assert job is not None
+    assert job.output_level == 2
+    assert job.input_numbers() == {1}
+
+
+def test_make_picker_lazy_leveled():
+    picker = make_picker(Options(compaction_style="lazy-leveled"))
+    assert isinstance(picker, LazyLeveledPicker)
+
+
+def test_trivial_move_marks_single_input_no_overlap():
+    options = Options(
+        level0_file_num_compaction_trigger=100,
+        max_bytes_for_level_base=1000,
+        allow_trivial_move=True,
+    )
+    picker = LeveledPicker(options)
+    # Oversized L1 file with no L2 overlap: relink instead of rewrite.
+    version = _version(l1=[_meta(1, b"a", b"f", size=5000)])
+    job = picker.pick(version, set())
+    assert job is not None
+    assert job.trivial_move
+    assert job.output_level == 2
+    # With overlap at the output level the merge is real.
+    version = Version(7)
+    edit = VersionEdit()
+    edit.add_file(1, _meta(1, b"a", b"f", size=5000))
+    edit.add_file(2, _meta(2, b"c", b"d", size=10))
+    version = version.apply(edit)
+    job = picker.pick(version, set())
+    assert job is not None
+    assert not job.trivial_move
+    # Disabled by default.
+    options.allow_trivial_move = False
+    version = _version(l1=[_meta(1, b"a", b"f", size=5000)])
+    assert not picker.pick(version, set()).trivial_move
+
+
+def test_trivial_move_end_to_end():
+    from repro.env.mem import MemEnv
+    from repro.lsm.db import DB
+
+    options = Options(
+        env=MemEnv(),
+        allow_trivial_move=True,
+        write_buffer_size=4 * 1024,
+        max_bytes_for_level_base=8 * 1024,
+        level0_file_num_compaction_trigger=2,
+    )
+    with DB("/tm", options) as db:
+        for i in range(4000):
+            db.put(b"key-%06d" % i, b"v" * 64)
+        db.compact_range()
+        for i in range(0, 4000, 97):
+            assert db.get(b"key-%06d" % i) == b"v" * 64
+        # At least one metadata-only move happened on this sequential fill.
+        assert db.stats.counter("db.trivial_moves").value >= 1
+
+
+def test_leveled_blocked_l0_falls_through_to_level_rule():
+    """The composed picker tries the next-best rule when the best one's
+    layout is blocked by an in-flight job (the monolithic picker gave up)."""
+    options = Options(
+        level0_file_num_compaction_trigger=2, max_bytes_for_level_base=1000
+    )
+    picker = LeveledPicker(options)
+    version = Version(7)
+    edit = VersionEdit()
+    edit.add_file(0, _meta(10, b"a", b"c"))
+    edit.add_file(0, _meta(11, b"d", b"f"))
+    edit.add_file(0, _meta(12, b"g", b"i"))
+    edit.add_file(1, _meta(1, b"a", b"c", size=5000))
+    edit.add_file(1, _meta(2, b"n", b"z", size=5000))
+    version = version.apply(edit)
+    # One L0 file is mid-compaction: the L0 lane must wait, but the
+    # oversized-L1 lane can still make progress on a disjoint file.
+    job = picker.pick(version, compacting={10})
+    assert job is not None
+    assert job.output_level == 2
+    assert 10 not in job.input_numbers()

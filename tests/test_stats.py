@@ -137,3 +137,93 @@ def test_percentile_exact():
     assert percentile_exact(values, 100) == 100.0
     assert percentile_exact(values, 0) == 1.0
     assert percentile_exact([], 50) == 0.0
+
+
+class _FakeTime:
+    """Deterministic monotonic clock for windowed-histogram tests."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_window_summary_empty():
+    hist = Histogram("lat")
+    window = hist.window_summary()
+    assert window["count"] == 0
+    assert window["p99"] == 0.0
+
+
+def test_window_summary_reflects_recent_values_only():
+    clock = _FakeTime()
+    hist = Histogram("lat", window_s=60.0, time_fn=clock)
+    # An old burst of slow operations...
+    for _ in range(100):
+        hist.record(1.0)
+    clock.advance(120.0)
+    # ...followed, two minutes later, by fast ones.
+    for _ in range(100):
+        hist.record(0.001)
+    lifetime = hist.summary()
+    window = hist.window_summary()
+    # Lifetime p99 is stuck at the old slow burst; the window moved on.
+    assert lifetime["p99"] > 0.5
+    assert window["p99"] < 0.01
+    assert window["count"] == 100
+    assert lifetime["count"] == 200
+    assert window["sum"] < 1.0
+
+
+def test_window_summary_ages_out_without_reset():
+    clock = _FakeTime()
+    hist = Histogram("lat", window_s=10.0, time_fn=clock)
+    hist.record(5.0)
+    assert hist.window_summary()["count"] == 1
+    clock.advance(30.0)
+    hist.record(0.5)  # the recorder itself rotates/prunes slices
+    window = hist.window_summary()
+    assert window["count"] == 1
+    assert window["max"] == 0.5
+    # The lifetime view still remembers everything.
+    assert hist.summary()["count"] == 2
+    assert hist.summary()["max"] == 5.0
+
+
+def test_window_summary_merges_slices_within_window():
+    clock = _FakeTime()
+    hist = Histogram("lat", window_s=60.0, time_fn=clock)
+    for _ in range(10):
+        hist.record(0.010)
+        clock.advance(5.0)  # spread records across several slices
+    window = hist.window_summary()
+    assert window["count"] == 10
+    assert 0.008 < window["p50"] < 0.012
+
+
+def test_window_summary_custom_span():
+    clock = _FakeTime()
+    hist = Histogram("lat", window_s=60.0, time_fn=clock)
+    hist.record(1.0)
+    clock.advance(40.0)
+    hist.record(2.0)
+    # Full window sees both; a narrow window only the newest (plus at most
+    # one slice of slop, which 40s of spacing comfortably exceeds).
+    assert hist.window_summary()["count"] == 2
+    narrow = hist.window_summary(window_s=10.0)
+    assert narrow["count"] == 1
+    assert narrow["max"] == 2.0
+
+
+def test_reset_clears_window():
+    clock = _FakeTime()
+    hist = Histogram("lat", window_s=60.0, time_fn=clock)
+    hist.record(1.0)
+    hist.reset()
+    assert hist.window_summary()["count"] == 0
+    hist.record(0.25)
+    assert hist.window_summary()["count"] == 1

@@ -90,3 +90,64 @@ def test_render_matches_live_op_stats_shape():
     assert "== server ==" in out
     assert "== engine ==" in out
     assert "committed_sequence" in out
+
+
+OBS_SAMPLE = {
+    "committed_sequence": 5,
+    "obs": {
+        "signals": {
+            "stall_seconds": 1.25, "stall_count": 3, "slowdown_writes": 7,
+            "write_amp": 4.2, "read_amp": 2.0, "space_amp": 1.1,
+            "compaction_debt_bytes": 2048, "level_debt_bytes": [2048, 0, 0],
+            "write_bytes_per_s": 10_240.0, "get_ops_per_s": 55.0,
+            "scan_ops_per_s": 1.0, "kds_p95_s": 0.002, "kds_count": 9,
+            "encrypt_s_per_compaction_byte": 1.5e-8,
+        },
+        "controller": {
+            "policy": "lazy-leveled", "offload": True, "reason": "mixed",
+            "ticks": 42, "policy_changes": 2, "offload_changes": 1,
+            "frozen_ticks": 0,
+        },
+    },
+}
+
+
+def test_render_obs_section():
+    out = render(OBS_SAMPLE)
+    assert "== obs: derived signals ==" in out
+    assert "== obs: adaptive controller ==" in out
+    assert "write 4.2 / read 2 / space 1.1" in out
+    assert "L0:2,048" in out
+    assert "lazy-leveled" in out
+    assert "offload=on" in out
+    assert "reason=mixed" in out
+    assert "42 ticks, 2 policy changes" in out
+
+
+def test_render_obs_merged_controller():
+    merged = {
+        "obs": {
+            "signals": {"stall_seconds": 0.0},
+            "controller": {
+                "shards": 4, "policies": {"leveled": 3, "universal": 1},
+                "offload_shards": 2, "ticks": 100, "policy_changes": 5,
+                "offload_changes": 2, "frozen_ticks": 1,
+            },
+        }
+    }
+    out = render(merged)
+    assert "leveledx3, universalx1" in out
+    assert "offload on 2/4 shards" in out
+
+
+def test_live_op_stats_includes_obs_signals():
+    db = DB("/statscli-obs", Options(env=MemEnv(), write_buffer_size=64 * 1024))
+    with KVServer(db, ServiceConfig()) as server:
+        with KVClient(*server.address) as client:
+            client.put(b"k", b"v")
+            stats = client.stats()
+    db.close()
+    assert "obs" in stats
+    for key in ("write_amp", "read_amp", "space_amp", "stall_seconds"):
+        assert key in stats["obs"]["signals"]
+    assert "obs: derived signals" in render(stats)
